@@ -1,0 +1,89 @@
+"""Ablation A-OPT -- algebraic rewrites on/off (Section 5.2, Figure 6).
+
+The Figure-3 script translated raw (Figure 6 (a)) computes the enemy
+centroid for *every* unit; the optimized plan (Figure 6 (b)-(d)) prunes
+that aggregate extension off the branches that never use it and elides
+the redundant ⊕E.  With the naive aggregate evaluator each pruned
+extension saves an O(n) scan per unit, so the rewrite gap is a direct
+measure of multi-query-optimization payoff.
+
+Expected shape: optimized < raw under both evaluators, identical
+results; the gap is largest under naive evaluation.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.util import emit, fmt_table
+from repro.algebra.executor import execute_plan
+from repro.algebra.rewrite import optimize
+from repro.algebra.translate import translate_script
+from repro.engine.evaluator import IndexedEvaluator
+from repro.engine.rng import TickRandom
+from repro.game.scripts import FIGURE_3_SCRIPT, build_registry
+from repro.game.scenario import uniform_battle
+from repro.sgl.interp import NaiveAggregateEvaluator
+from repro.sgl.parser import parse_script
+
+N = 250
+
+
+@pytest.fixture(scope="module")
+def setup():
+    registry = build_registry()
+    env, _ = uniform_battle(N, seed=3)
+    script = parse_script(FIGURE_3_SCRIPT)
+    raw = translate_script(script, registry)
+    opt = optimize(raw, registry)
+    rng = TickRandom(5, tick=1)
+    return registry, env, raw, opt, rng
+
+
+def run_plan(plan, env, registry, rng, indexed=False):
+    if indexed:
+        evaluator = IndexedEvaluator(registry)
+        evaluator.begin_tick(env)
+    else:
+        evaluator = NaiveAggregateEvaluator()
+    return execute_plan(plan, env, registry, evaluator, rng)
+
+
+def test_rewrites_speed_and_equivalence(benchmark, capsys, setup):
+    registry, env, raw, opt, rng = setup
+
+    t0 = time.perf_counter()
+    result_raw = run_plan(raw, env, registry, rng)
+    t_raw = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result_opt = run_plan(opt, env, registry, rng)
+    t_opt = time.perf_counter() - t0
+    assert result_raw == result_opt
+
+    t0 = time.perf_counter()
+    run_plan(raw, env, registry, rng, indexed=True)
+    t_raw_idx = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_plan(opt, env, registry, rng, indexed=True)
+    t_opt_idx = time.perf_counter() - t0
+
+    emit(capsys, f"A-OPT: Figure 3 plan, raw vs optimized ({N} units)",
+         fmt_table(
+             ["evaluator", "raw plan", "optimized", "speedup"],
+             [["naive", t_raw, t_opt, f"{t_raw / t_opt:.2f}x"],
+              ["indexed", t_raw_idx, t_opt_idx,
+               f"{t_raw_idx / t_opt_idx:.2f}x"]],
+         ))
+
+    assert t_opt < t_raw, "pruning must pay off under naive evaluation"
+
+    benchmark.pedantic(
+        lambda: run_plan(opt, env, registry, rng), rounds=2, iterations=1
+    )
+
+
+def test_raw_plan_reference(benchmark, setup):
+    registry, env, raw, _, rng = setup
+    benchmark.pedantic(
+        lambda: run_plan(raw, env, registry, rng), rounds=2, iterations=1
+    )

@@ -1,0 +1,52 @@
+"""Experiment T-CROSS -- where indexing starts paying off.
+
+Paper: "the overhead of index construction is quite low: the indexed
+algorithm dominates the naive algorithm even for very small numbers of
+Units, and it is an order of magnitude faster by 700 Units."
+
+We sweep small unit counts to locate the crossover, then measure the
+ratio at a 700-equivalent scale point (the paper's 700 units on C++
+corresponds to a few hundred here).  Expected shape: crossover at a few
+dozen units at most; ratio ≥ 10× by the scale point.
+"""
+
+from benchmarks.util import emit, fmt_table, tick_seconds
+
+SMALL_SWEEP = (10, 20, 40, 80, 160)
+SCALE_POINT = 350  # our "700 units" equivalent
+
+
+def test_crossover_and_order_of_magnitude(benchmark, capsys):
+    times: dict[int, tuple[float, float]] = {}
+    scale_ratio: list[float] = []
+
+    def sweep():
+        for n in SMALL_SWEEP:
+            naive = tick_seconds(n, "naive", ticks=2)
+            indexed = tick_seconds(n, "indexed", ticks=2)
+            times[n] = (naive, indexed)
+        naive_big = tick_seconds(SCALE_POINT, "naive", ticks=1)
+        indexed_big = tick_seconds(SCALE_POINT, "indexed", ticks=1)
+        scale_ratio.append(naive_big / indexed_big)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [n, naive, indexed, f"{naive / indexed:.2f}x"]
+        for n, (naive, indexed) in times.items()
+    ]
+    rows.append([SCALE_POINT, "-", "-", f"{scale_ratio[0]:.1f}x"])
+    emit(capsys, "T-CROSS: small-n crossover + order-of-magnitude point",
+         fmt_table(["units", "naive", "indexed", "ratio"], rows))
+
+    crossover = next(
+        (n for n, (naive, indexed) in times.items() if naive > indexed),
+        None,
+    )
+    assert crossover is not None and crossover <= 80, (
+        f"indexing should win by a few dozen units, crossover={crossover}"
+    )
+    assert scale_ratio[0] >= 10, (
+        f"expected an order of magnitude at the scale point, "
+        f"got {scale_ratio[0]:.1f}x"
+    )

@@ -1,0 +1,49 @@
+"""Experiment T-DENS -- unit-density sensitivity.
+
+Paper: "we ran experiments fixing the number of Units at 500, and
+varying the unit density between 0.5 and 8 percent.  Neither algorithm
+is particularly sensitive to this parameter."
+
+We fix a (scaled) 200-unit battle and sweep the same density range.
+Expected shape: for each engine, max/min per-tick time across densities
+stays within a small factor -- nothing like the ~16× swing the density
+itself changes by.
+"""
+
+from benchmarks.util import emit, fmt_table, tick_seconds
+from repro.game.scenario import density_sweep
+
+N_UNITS = 200
+DENSITIES = density_sweep()
+
+
+def test_density_sensitivity(benchmark, capsys):
+    naive_times: dict[float, float] = {}
+    indexed_times: dict[float, float] = {}
+
+    def sweep():
+        for density in DENSITIES:
+            naive_times[density] = tick_seconds(
+                N_UNITS, "naive", ticks=1, density=density
+            )
+            indexed_times[density] = tick_seconds(
+                N_UNITS, "indexed", ticks=2, density=density
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [f"{d * 100:.1f}%", naive_times[d], indexed_times[d]]
+        for d in DENSITIES
+    ]
+    emit(
+        capsys,
+        f"T-DENS: per-tick seconds at {N_UNITS} units, density 0.5%..8%",
+        fmt_table(["density", "naive", "indexed"], rows),
+    )
+
+    for times in (naive_times, indexed_times):
+        spread = max(times.values()) / min(times.values())
+        # the density itself varies 16x; "not particularly sensitive"
+        # means the runtime spread stays far below that
+        assert spread < 8, f"density sensitivity too high: {spread:.1f}x"

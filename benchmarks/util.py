@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark harness.
+
+The paper's absolute numbers come from a C++ engine on 2007 hardware; we
+run a pure-Python engine, so every bench reports *shapes* -- growth
+curves, ratios, crossovers -- next to the paper's qualitative claims.
+Unit counts are scaled down (~10-20×) so the full suite finishes in CI
+time; naive and indexed always share workloads, seeds, and tick counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.game.battle import BattleSimulation
+
+
+def tick_seconds(
+    n_units: int,
+    mode: str,
+    *,
+    ticks: int = 2,
+    density: float = 0.01,
+    seed: int = 0,
+    formation: str = "uniform",
+    optimize_aoe: bool = True,
+    cascade: bool = True,
+) -> float:
+    """Mean wall-clock seconds per tick for one battle configuration."""
+    sim = BattleSimulation(
+        n_units,
+        density=density,
+        mode=mode,
+        seed=seed,
+        formation=formation,
+        optimize_aoe=optimize_aoe,
+        cascade=cascade,
+    )
+    start = time.perf_counter()
+    sim.run(ticks)
+    return (time.perf_counter() - start) / ticks
+
+
+def fmt_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width table rendering for bench output."""
+    cells = [headers] + [
+        [f"{v:.4f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def emit(capsys, title: str, body: str) -> None:
+    """Print a bench table so it survives pytest's capture."""
+    text = f"\n=== {title} ===\n{body}\n"
+    if capsys is not None:
+        with capsys.disabled():
+            print(text)
+    else:  # pragma: no cover
+        print(text)

@@ -1,0 +1,51 @@
+"""Epic scaling: the Figure 10 experiment as a live demo.
+
+Runs identical battles through the naive and the indexed engine at
+growing unit counts and prints the per-tick cost side by side --
+the naive curve is quadratic, the indexed one is ~n log n, exactly the
+trade-off Figure 1 of the paper frames (expressiveness vs unit count).
+
+    python examples/epic_scaling.py [max_units]
+"""
+
+import sys
+import time
+
+from repro import BattleSimulation
+
+
+def tick_time(n_units: int, mode: str, ticks: int = 1) -> float:
+    sim = BattleSimulation(n_units, mode=mode, seed=0)
+    start = time.perf_counter()
+    sim.run(ticks)
+    return (time.perf_counter() - start) / ticks
+
+
+def main() -> None:
+    max_units = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    naive_cap = min(max_units, 400)  # the naive engine is the point
+
+    print(f"{'units':>6} {'naive s/tick':>13} {'indexed s/tick':>15} "
+          f"{'speedup':>8}")
+    n = 50
+    while n <= max_units:
+        indexed = tick_time(n, "indexed", ticks=2)
+        if n <= naive_cap:
+            naive = tick_time(n, "naive")
+            print(f"{n:>6} {naive:>13.3f} {indexed:>15.4f} "
+                  f"{naive / indexed:>7.1f}x")
+        else:
+            print(f"{n:>6} {'(skipped)':>13} {indexed:>15.4f} {'-':>8}")
+        n *= 2
+
+    print(
+        "\nThe naive engine re-scans all n units for each of the ~10\n"
+        "aggregates every unit evaluates per tick: O(n^2).  The indexed\n"
+        "engine rebuilds the Section 5.3 structures each tick and answers\n"
+        "each aggregate in O(log n): the same game, an order of magnitude\n"
+        "more units."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Modding: swap a unit's AI script without touching the engine.
+
+Section 2 of the paper argues data-driven AI lets *players* mod unit
+behaviour (the Warcraft III AMAI project).  This example plays the same
+battle twice -- once with the stock archer script, once with a modded
+"berserker archer" that never retreats and always charges the weakest
+enemy -- and compares outcomes.  The mod is pure data: a different SGL
+string compiled against the same registry.
+
+    python examples/modding.py
+"""
+
+from repro import BattleSimulation, compile_script
+
+BERSERKER_ARCHER = """
+main(u) {
+  (let c = CountEnemiesInRange(u, u.sight)) {
+    if (c > 0) then
+      perform Rush(u);
+  }
+}
+
+Rush(u) {
+  (let n = CountEnemiesInRange(u, u.range)) {
+    if (n > 0 and u.cooldown = 0) then
+      (let target = WeakestEnemyInRange(u, u.range)) {
+        perform FireAt(u, target.key);
+        perform UseWeapon(u);
+      };
+    if (n = 0) then
+      (let t = NearestEnemy(u)) {
+        perform MoveInDirection(u, t.posx - u.posx, t.posy - u.posy);
+      }
+  }
+}
+"""
+
+
+def play(modded: bool, ticks: int = 15):
+    sim = BattleSimulation(
+        200, mode="indexed", seed=21, density=0.06, resurrection=False,
+    )
+    if modded:
+        # mod player 0's archers only: players keep distinct scripts
+        stock = sim.scripts["archer"]
+        berserker = compile_script(
+            BERSERKER_ARCHER, sim.registry, sim.schema
+        )
+        original_for = sim.engine.script_for
+
+        def script_for(row):
+            if row["unittype"] == "archer" and row["player"] == 0:
+                return berserker
+            return original_for(row)
+
+        sim.engine.script_for = script_for
+        assert stock is not berserker
+    sim.run(ticks)
+    survivors = {0: 0, 1: 0}
+    for row in sim.environment:
+        survivors[row["player"]] += 1
+    return survivors, sim.summary
+
+
+def main() -> None:
+    print("== Stock archers on both sides ==")
+    stock_survivors, stock_summary = play(modded=False)
+    print(f"survivors: player0={stock_survivors[0]} "
+          f"player1={stock_survivors[1]} "
+          f"(damage dealt: {stock_summary.total_damage:.0f})")
+
+    print("\n== Player 0 mods its archers into berserkers ==")
+    mod_survivors, mod_summary = play(modded=True)
+    print(f"survivors: player0={mod_survivors[0]} "
+          f"player1={mod_survivors[1]} "
+          f"(damage dealt: {mod_summary.total_damage:.0f})")
+
+    delta = mod_summary.total_damage - stock_summary.total_damage
+    print(
+        f"\nThe mod changed total battle damage by {delta:+.0f} without a\n"
+        "single engine change -- and the optimizer indexed the modded\n"
+        "script's aggregates exactly like the stock ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro -- reproduction of "Scaling Games to Epic Proportions" (SIGMOD'07).
+
+The package implements the paper's full stack:
+
+* :mod:`repro.env`     -- the tagged environment relation and ``⊕``;
+* :mod:`repro.sgl`     -- the SGL scripting language (parser, restricted
+  SQL built-ins, reference semantics, normal form, static analysis);
+* :mod:`repro.algebra` -- the bag algebra, SGL→algebra translation,
+  rewrite rules, shape classification, and the set-at-a-time executor;
+* :mod:`repro.indexes` -- layered range trees with fractional cascading,
+  divisible-aggregate trees (Figure 8), sweep-line min/max (Figure 9),
+  kD-trees, and categorical hash layers;
+* :mod:`repro.engine`  -- the discrete simulation engine with the two
+  pluggable aggregate evaluators of Section 6;
+* :mod:`repro.game`    -- the knights/archers/healers battle simulation
+  with d20 mechanics (Section 3.2).
+
+Quickstart::
+
+    from repro import run_battle
+    summary = run_battle(500, ticks=20, mode="indexed")
+    print(summary.total_time)
+"""
+
+from .api import (
+    ExplainResult,
+    GameDefinition,
+    compile_script,
+    explain_script,
+    run_battle,
+)
+from .engine.clock import EngineConfig, SimulationEngine
+from .env.schema import Attribute, AttributeType, Schema, battle_schema
+from .env.table import EnvironmentTable
+from .game.battle import BattleSimulation, BattleSummary
+from .sgl.builtins import FunctionRegistry
+from .sgl.parser import parse_script
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "BattleSimulation",
+    "BattleSummary",
+    "EngineConfig",
+    "EnvironmentTable",
+    "ExplainResult",
+    "FunctionRegistry",
+    "GameDefinition",
+    "Schema",
+    "SimulationEngine",
+    "battle_schema",
+    "compile_script",
+    "explain_script",
+    "parse_script",
+    "run_battle",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Bag algebra, plan rewrites, and aggregate-shape analysis (Section 5)."""
+
+from .executor import PlanExecutor, execute_plan
+from .ops import (
+    AggExtend,
+    Apply,
+    Combine,
+    Extend,
+    Plan,
+    ScanE,
+    Select,
+    plan_signature,
+    shared_subplans,
+)
+from .rewrite import elide_e, optimize, prune_unused_columns, sharing_report
+from .shapes import (
+    ActionShape,
+    AggregateShape,
+    Bound,
+    EqConstraint,
+    NeqConstraint,
+    RangeConstraint,
+    classify_action,
+    classify_aggregate,
+    match_squared_distance,
+    names_in,
+    refs_e,
+)
+from .translate import translate_script
+
+__all__ = [
+    "ActionShape",
+    "AggExtend",
+    "AggregateShape",
+    "Apply",
+    "Bound",
+    "Combine",
+    "EqConstraint",
+    "Extend",
+    "NeqConstraint",
+    "Plan",
+    "PlanExecutor",
+    "RangeConstraint",
+    "ScanE",
+    "Select",
+    "classify_action",
+    "classify_aggregate",
+    "elide_e",
+    "execute_plan",
+    "match_squared_distance",
+    "names_in",
+    "optimize",
+    "plan_signature",
+    "prune_unused_columns",
+    "refs_e",
+    "sharing_report",
+    "shared_subplans",
+    "translate_script",
+]

@@ -1,0 +1,165 @@
+"""Bag-algebra operator trees (Section 5.1).
+
+SGL scripts translate into expressions over a multiset algebra with
+selection σ, extension projections π_{*, t AS c} (including the
+aggregate extensions π_{*, agg(*)} that become index nested-loop joins),
+action application act⊕, and the combination operator ⊕.  Plans are
+immutable trees; *structural sharing* of subtrees is meaningful -- the
+executor memoises by node identity, which is how the shared-selection
+rule (9) and the plan shapes of Figure 6 are realised.
+
+Node vocabulary (cf. Figure 6):
+
+* :class:`ScanE`        -- the environment relation E (one row per unit);
+* :class:`Extend`       -- π_{*, t AS c}: add a computed column;
+* :class:`AggExtend`    -- π_{*, agg(*)}: add an aggregate column, one
+  index probe per row;
+* :class:`Select`       -- σφ;
+* :class:`Apply`        -- act⊕: run a built-in action for each input
+  row, producing a combined effect table;
+* :class:`Combine`      -- ⊕ of the multiset union of its children
+  (with ``include_e`` for the final ``⊕ E`` of Eq. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..sgl import ast
+
+
+class Plan:
+    """Base class of plan nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Plan"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True, eq=False)
+class ScanE(Plan):
+    """The environment: every unit row, with the unit bound to *param*."""
+
+    param: str = "u"
+
+    def describe(self) -> str:
+        return "E"
+
+
+@dataclass(frozen=True, eq=False)
+class Extend(Plan):
+    """π_{*, term AS name} -- a pure computed column."""
+
+    child: Plan
+    name: str
+    term: ast.Term
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"π*,{self.term} AS {self.name}({self.child.describe()})"
+
+
+@dataclass(frozen=True, eq=False)
+class AggExtend(Plan):
+    """π_{*, agg(*) AS name} -- an aggregate column over E per row.
+
+    This is the operator that executes as an index nested-loop join with
+    the precomputed aggregate index (Eq. 11).
+    """
+
+    child: Plan
+    name: str
+    call: ast.Call
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"π*,{self.call} AS {self.name}({self.child.describe()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Select(Plan):
+    """σφ over extended unit rows."""
+
+    child: Plan
+    cond: ast.Cond
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"σ[{self.cond}]({self.child.describe()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Apply(Plan):
+    """act⊕ -- apply a built-in (or script-defined, after inlining)
+    action function to each input row, yielding effect rows."""
+
+    child: Plan
+    action: str
+    args: tuple[ast.Term, ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.action}⊕[{args}]({self.child.describe()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Combine(Plan):
+    """⊕ of the union of the children's effect tables.
+
+    ``include_e`` realises the ``... ⊕ E`` of Eq. 6; the Example 5.1
+    rewrite (``act⊕(R) ⊕ R = act⊕(R)``) may clear it.
+    """
+
+    inputs: tuple[Plan, ...]
+    include_e: bool = True
+
+    def children(self) -> tuple[Plan, ...]:
+        return self.inputs
+
+    def describe(self) -> str:
+        parts = [p.describe() for p in self.inputs]
+        if self.include_e:
+            parts.append("E")
+        return "⊕(" + " ⊎ ".join(parts) + ")"
+
+
+def plan_signature(plan: Plan) -> str:
+    """A canonical one-line rendering used by the Figure-6 plan tests."""
+    return plan.describe()
+
+
+def shared_subplans(plan: Plan) -> dict[int, int]:
+    """Count how many times each node object appears in the DAG.
+
+    Nodes with count > 1 execute once under memoisation -- the effect of
+    rewrite rule (9) (shared σφ/σ¬φ inputs).
+    """
+    ref_counts: dict[int, int] = {id(plan): 1}
+    seen: set[int] = set()
+
+    def visit(node: Plan) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.children():
+            ref_counts[id(child)] = ref_counts.get(id(child), 0) + 1
+            visit(child)
+
+    visit(plan)
+    return ref_counts

@@ -1,0 +1,186 @@
+"""Algebraic plan rewrites (Section 5.2, Figure 7, Example 5.1).
+
+Implemented rules:
+
+* **Extension pruning** (the Figure 6 (a)→(b) step): an ``Extend`` or
+  ``AggExtend`` whose column no branch above references is dropped from
+  that branch.  This is how "the aggregate index for agg2 will only
+  have to be computed for the units that satisfy condition φ1" -- the
+  ¬φ1 branch simply loses the agg2 extension.  Pruning can also remove
+  runtime errors (an eagerly-evaluated let over an empty aggregate); it
+  never introduces behaviour.
+
+* **Shared-selection evaluation** (rule 9): not a tree transformation
+  but a representation guarantee -- ``if/else`` translation points both
+  σφ and σ¬φ at the same child object and the executor memoises by node
+  identity, so the common prefix runs once.  :func:`sharing_report`
+  exposes the reference counts for tests and EXPLAIN output.
+
+* **E-elision** (Example 5.1 step 2, ``act⊕(R) ⊕ R = act⊕(R)``): when
+  every unit of E provably flows into a self-keyed action, the final
+  ``⊕ E`` of Eq. 6 is redundant and ``Combine.include_e`` clears.  We
+  implement the total-coverage case; the partial-coverage join form of
+  rule (10) is validated as an algebraic property test instead
+  (``tests/algebra/test_rules.py``).
+"""
+
+from __future__ import annotations
+
+from ..sgl import ast
+from ..sgl.builtins import FunctionRegistry
+from .ops import AggExtend, Apply, Combine, Extend, Plan, ScanE, Select
+from .shapes import classify_action, names_in
+
+
+def optimize(plan: Combine, registry: FunctionRegistry) -> Combine:
+    """Apply all rewrites; returns a new plan (inputs may be shared)."""
+    pruned = prune_unused_columns(plan)
+    return elide_e(pruned, registry)
+
+
+# ---------------------------------------------------------------------------
+# Extension pruning
+# ---------------------------------------------------------------------------
+
+
+def prune_unused_columns(plan: Combine) -> Combine:
+    """Drop extension columns never referenced above them.
+
+    Subtrees pruned under identical requirement sets stay shared, so the
+    rule-9 sharing of common prefixes survives the rewrite.
+    """
+    memo: dict[tuple[int, frozenset[str]], Plan] = {}
+
+    def prune(node: Plan, needed: frozenset[str]) -> Plan:
+        key = (id(node), needed)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+
+        if isinstance(node, ScanE):
+            result: Plan = node
+        elif isinstance(node, Select):
+            wanted = needed | frozenset(names_in(node.cond))
+            child = prune(node.child, wanted)
+            result = Select(child, node.cond)
+        elif isinstance(node, (Extend, AggExtend)):
+            if node.name not in needed:
+                result = prune(node.child, needed)  # drop the column
+            else:
+                term = node.term if isinstance(node, Extend) else node.call
+                wanted = (needed - {node.name}) | frozenset(names_in(term))
+                child = prune(node.child, wanted)
+                if isinstance(node, Extend):
+                    result = Extend(child, node.name, node.term)
+                else:
+                    result = AggExtend(child, node.name, node.call)
+        elif isinstance(node, Apply):
+            wanted = needed
+            for arg in node.args:
+                wanted = wanted | frozenset(names_in(arg))
+            child = prune(node.child, wanted)
+            result = Apply(child, node.action, node.args)
+        else:
+            raise TypeError(f"cannot prune {node!r}")
+
+        memo[key] = result
+        return result
+
+    inputs = tuple(prune(child, frozenset()) for child in plan.inputs)
+    return Combine(inputs=inputs, include_e=plan.include_e)
+
+
+# ---------------------------------------------------------------------------
+# E-elision (Example 5.1)
+# ---------------------------------------------------------------------------
+
+
+def _is_unfiltered(node: Plan) -> bool:
+    """True when every unit of E reaches *node* (extensions only)."""
+    while isinstance(node, (Extend, AggExtend)):
+        node = node.child
+    return isinstance(node, ScanE)
+
+
+def _scan_param(node: Plan) -> str | None:
+    while True:
+        if isinstance(node, ScanE):
+            return node.param
+        children = node.children()
+        if not children:
+            return None
+        node = children[0]
+
+
+def _is_self_keyed(apply: Apply, registry: FunctionRegistry) -> bool:
+    """Does this action update exactly the performing unit's row?"""
+    builtin = registry.actions.get(apply.action)
+    if builtin is None or builtin.spec is None:
+        return False
+    shape = classify_action(builtin.spec)
+    if shape.kind != "key" or shape.extra_where:
+        return False
+    param = _scan_param(apply.child)
+    if param is None:
+        return False
+    # the target key must be the performer's own: ``<unit>.key`` where
+    # <unit> is the argument bound to the spec's unit parameter
+    key_term = shape.key_term
+    if not (
+        isinstance(key_term, ast.FieldAccess)
+        and key_term.attr == "key"
+        and isinstance(key_term.base, ast.Name)
+    ):
+        return False
+    spec_unit = key_term.base.ident
+    try:
+        position = builtin.params.index(spec_unit)
+    except ValueError:
+        return False
+    if position >= len(apply.args):
+        return False
+    arg = apply.args[position]
+    return isinstance(arg, ast.Name) and arg.ident == param
+
+
+def elide_e(plan: Combine, registry: FunctionRegistry) -> Combine:
+    """Clear ``include_e`` when a self-keyed action covers every unit.
+
+    The safe, detectable instance of ``act⊕(R) ⊕ R = act⊕(R)``: some
+    ``Apply`` sits over an unfiltered extension chain on E and writes to
+    the performer's own key, so every unit already appears in the
+    combined output and the extra ``⊎ E`` only adds neutral rows.
+    """
+    if not plan.include_e:
+        return plan
+    covered = any(
+        isinstance(child, Apply)
+        and _is_unfiltered(child.child)
+        and _is_self_keyed(child, registry)
+        for child in plan.inputs
+    )
+    if not covered:
+        return plan
+    return Combine(inputs=plan.inputs, include_e=False)
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN-style reporting
+# ---------------------------------------------------------------------------
+
+
+def sharing_report(plan: Combine) -> dict[str, int]:
+    """Summary counters for tests and EXPLAIN output."""
+    from .ops import shared_subplans
+
+    refs = shared_subplans(plan)
+    nodes = list(plan.walk())
+    distinct = {id(n) for n in nodes}
+    return {
+        "distinct_nodes": len(distinct),
+        "shared_nodes": sum(1 for v in refs.values() if v > 1),
+        "agg_extends": sum(
+            1 for n in nodes if isinstance(n, AggExtend)
+        ),
+        "applies": sum(1 for n in nodes if isinstance(n, Apply)),
+    }

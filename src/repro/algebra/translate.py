@@ -1,0 +1,102 @@
+"""Translation of SGL scripts into the bag algebra (Section 5.1).
+
+The paper's translation rules::
+
+    [[f1; f2]]⊕(E)          = [[f1]]⊕(E) ⊕ [[f2]]⊕(E)
+    [[if φ then f]]⊕(E)     = [[f]]⊕(σφ(E))
+    [[(let A = a) f]]⊕(E)   = [[f]]⊕(π_{*, a(*) AS A}(E))
+
+applied to scripts in aggregate normal form (aggregates only in let
+position).  Script-defined functions invoked by ``perform`` are inlined
+with their arguments turned into ``Extend`` columns, so the final plan
+contains only built-in ``Apply`` leaves -- exactly the shape of
+Figure 6 (a).
+
+Structural sharing falls out naturally: ``if/else`` translates both
+branches over σφ/σ¬φ of the *same* child object, so the executor's
+identity memoisation evaluates the shared prefix once (rule 9).
+"""
+
+from __future__ import annotations
+
+from ..sgl import ast
+from ..sgl.builtins import FunctionRegistry
+from ..sgl.errors import SglNameError, SglTypeError
+from ..sgl.normalize import normalize_script
+from .ops import AggExtend, Apply, Combine, Extend, Plan, ScanE, Select
+
+
+def translate_script(
+    script: ast.Script,
+    registry: FunctionRegistry,
+    *,
+    normalize: bool = True,
+) -> Combine:
+    """Translate a script's ``main`` into a full tick plan (Eq. 6)."""
+    if normalize:
+        script = normalize_script(script, registry)
+    translator = _Translator(script, registry)
+    main = script.main
+    source: Plan = ScanE(param=main.params[0])
+    effect_plans = translator.action(main.body, source, depth=0)
+    return Combine(inputs=tuple(effect_plans), include_e=True)
+
+
+class _Translator:
+    _MAX_INLINE_DEPTH = 32
+
+    def __init__(self, script: ast.Script, registry: FunctionRegistry):
+        self.script = script
+        self.registry = registry
+
+    def action(self, node: ast.Action, source: Plan, depth: int) -> list[Plan]:
+        if depth > self._MAX_INLINE_DEPTH:
+            raise SglTypeError(
+                "perform recursion exceeds the inlining depth limit"
+            )
+        if isinstance(node, ast.Skip):
+            return []
+        if isinstance(node, ast.Let):
+            extended = self._extend(source, node.name, node.term)
+            return self.action(node.body, extended, depth)
+        if isinstance(node, ast.Seq):
+            return self.action(node.first, source, depth) + self.action(
+                node.second, source, depth
+            )
+        if isinstance(node, ast.If):
+            plans = self.action(
+                node.then_branch, Select(source, node.cond), depth
+            )
+            if node.else_branch is not None:
+                plans += self.action(
+                    node.else_branch, Select(source, ast.Not(node.cond)), depth
+                )
+            return plans
+        if isinstance(node, ast.Perform):
+            return self.perform(node, source, depth)
+        raise SglTypeError(f"cannot translate {node!r}")
+
+    def perform(self, node: ast.Perform, source: Plan, depth: int) -> list[Plan]:
+        defined = self.script.functions.get(node.name)
+        if defined is not None:
+            # inline: bind each parameter as an extension column, then
+            # translate the body over the extended source
+            if len(node.args) != len(defined.params):
+                raise SglTypeError(
+                    f"{node.name} expects {len(defined.params)} args"
+                )
+            extended = source
+            for param, arg in zip(defined.params, node.args):
+                if isinstance(arg, ast.Name) and arg.ident == param:
+                    continue  # identity rebinding (e.g. Engage(u))
+                extended = self._extend(extended, param, arg)
+            return self.action(defined.body, extended, depth + 1)
+
+        if node.name not in self.registry.actions:
+            raise SglNameError(f"unknown action function {node.name!r}")
+        return [Apply(child=source, action=node.name, args=node.args)]
+
+    def _extend(self, source: Plan, name: str, term: ast.Term) -> Plan:
+        if isinstance(term, ast.Call) and term.name in self.registry.aggregates:
+            return AggExtend(child=source, name=name, call=term)
+        return Extend(child=source, name=name, term=term)

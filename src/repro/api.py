@@ -1,0 +1,141 @@
+"""Convenience facade over the full system.
+
+Most downstream users want one of three things:
+
+* **run the battle**: :func:`run_battle` / :class:`BattleSimulation`;
+* **script their own game**: :func:`compile_script` +
+  :class:`GameDefinition` -- bring a schema, SQL built-ins, and SGL
+  scripts; get a naive/indexed engine;
+* **explain a script**: :func:`explain_script` -- the optimized algebra
+  plan and the index chosen for each aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .algebra.rewrite import optimize, sharing_report
+from .algebra.shapes import classify_aggregate
+from .algebra.translate import translate_script
+from .engine.clock import EngineConfig, SimulationEngine, TickStats
+from .env.schema import Schema
+from .env.table import EnvironmentTable
+from .game.battle import BattleSimulation, BattleSummary
+from .sgl.analysis import analyze_script
+from .sgl.ast import Script
+from .sgl.builtins import FunctionRegistry
+from .sgl.normalize import normalize_script
+from .sgl.parser import parse_script
+
+
+def compile_script(
+    source: str,
+    registry: FunctionRegistry,
+    schema: Schema | None = None,
+    *,
+    normalize: bool = False,
+) -> Script:
+    """Parse and validate an SGL script against *registry* (and *schema*).
+
+    With *normalize* the script is returned in aggregate normal form
+    (Section 5.1) -- semantically identical, required only when feeding
+    the algebra translator manually (it normalizes by itself).
+    """
+    script = parse_script(source)
+    analyze_script(script, registry, schema)
+    if normalize:
+        script = normalize_script(script, registry)
+    return script
+
+
+@dataclass
+class ExplainResult:
+    """What ``explain_script`` reports."""
+
+    plan: str
+    sharing: dict[str, int]
+    aggregate_kinds: dict[str, str]
+
+    def __str__(self) -> str:
+        lines = [self.plan, ""]
+        lines.append("aggregate index selection:")
+        for name, kind in sorted(self.aggregate_kinds.items()):
+            lines.append(f"  {name}: {kind}")
+        lines.append(f"sharing: {self.sharing}")
+        return "\n".join(lines)
+
+
+def explain_script(source: str, registry: FunctionRegistry) -> ExplainResult:
+    """EXPLAIN for SGL: the optimized plan + per-aggregate index choice."""
+    script = parse_script(source)
+    analysis = analyze_script(script, registry)
+    plan = optimize(translate_script(script, registry), registry)
+    kinds = {
+        name: classify_aggregate(registry.aggregates[name].spec).kind
+        for name in analysis.aggregate_functions
+        if registry.aggregates[name].spec is not None
+    }
+    return ExplainResult(
+        plan=plan.describe(),
+        sharing=sharing_report(plan),
+        aggregate_kinds=kinds,
+    )
+
+
+@dataclass
+class GameDefinition:
+    """Everything needed to run a custom data-driven game."""
+
+    schema: Schema
+    registry: FunctionRegistry
+    scripts: dict[str, Script]
+    script_selector: str = "unittype"  # row attribute choosing the script
+
+    def engine(
+        self,
+        env: EnvironmentTable,
+        mechanics: Callable,
+        *,
+        mode: str = "indexed",
+        seed: int = 0,
+        optimize_aoe: bool = True,
+        cascade: bool = True,
+    ) -> SimulationEngine:
+        scripts = self.scripts
+        selector = self.script_selector
+
+        def script_for(row: Mapping[str, object]) -> Script:
+            return scripts[row[selector]]
+
+        return SimulationEngine(
+            env,
+            self.registry,
+            script_for,
+            mechanics,
+            EngineConfig(
+                mode=mode, optimize_aoe=optimize_aoe, cascade=cascade, seed=seed
+            ),
+        )
+
+
+def run_battle(
+    n_units: int,
+    ticks: int,
+    *,
+    mode: str = "indexed",
+    density: float = 0.01,
+    seed: int = 0,
+    formation: str = "uniform",
+    resurrection: bool = True,
+) -> BattleSummary:
+    """One-call battle run; returns the summary with per-tick stats."""
+    sim = BattleSimulation(
+        n_units,
+        density=density,
+        mode=mode,
+        seed=seed,
+        formation=formation,
+        resurrection=resurrection,
+    )
+    return sim.run(ticks)

@@ -1,0 +1,223 @@
+"""The discrete simulation engine: the tick loop of Sections 2.2 and 6.
+
+Each clock tick proceeds in the phases the paper's engine uses:
+
+1. **index build** -- the indexed evaluator resets and (lazily, on first
+   probe) rebuilds the aggregate indexes for this tick's environment;
+   sweep-line batches for hinted extreme aggregates are also built here;
+2. **decision** -- every unit executes its script; effect rows (and
+   deferred AoE records) accumulate;
+3. **second index build + action** -- deferred area effects resolve
+   through the ⊕ optimisation of Section 5.4 (this is the paper's
+   "second index building phase, which can depend on values generated
+   during the decision phase");
+4. **combine** -- all effect tables merge with E under ⊕ (Eq. 6);
+5. **mechanics** -- the game's post-processing applies the combined
+   effects (Example 4.1), moves units, removes the dead.
+
+The evaluator is pluggable (Section 6): ``mode="naive"`` scans E for
+every aggregate, ``mode="indexed"`` probes the Section 5.3 structures.
+Both produce identical trajectories; only the wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..algebra.shapes import ActionShape, classify_action
+from ..env.combine import combine_all
+from ..env.table import EnvironmentTable
+from ..sgl import ast
+from ..sgl.analysis import analyze_script
+from ..sgl.builtins import FunctionRegistry
+from ..sgl.evalterm import EvalContext
+from .decision import DecisionRunner
+from .effects import AoeRecord, resolve_aoe
+from .evaluator import CallHint, IndexedEvaluator, NaiveEvaluator, collect_call_hints
+from .rng import TickRandom
+
+#: Game mechanics hook: (combined environment, rng, tick) -> next environment.
+MechanicsFn = Callable[[EnvironmentTable, TickRandom, int], EnvironmentTable]
+
+
+@dataclass
+class TickStats:
+    """Wall-clock breakdown of one tick (seconds) plus row counts."""
+
+    tick: int
+    units: int
+    effect_rows: int
+    aoe_records: int
+    decision_time: float
+    aoe_time: float
+    combine_time: float
+    mechanics_time: float
+    total_time: float
+
+
+@dataclass
+class EngineConfig:
+    mode: str = "indexed"  # "indexed" | "naive"
+    optimize_aoe: bool = True
+    cascade: bool = True
+    seed: int = 0
+
+
+class SimulationEngine:
+    """Drives the environment through clock ticks.
+
+    *script_for* maps a unit row to its compiled script (the battle
+    simulation dispatches on unit type); *mechanics* is the game's
+    post-processing step.
+    """
+
+    def __init__(
+        self,
+        env: EnvironmentTable,
+        registry: FunctionRegistry,
+        script_for: Callable[[Mapping[str, object]], ast.Script],
+        mechanics: MechanicsFn,
+        config: EngineConfig | None = None,
+    ):
+        self.env = env
+        self.registry = registry
+        self.script_for = script_for
+        self.mechanics = mechanics
+        self.config = config or EngineConfig()
+        if self.config.mode not in ("indexed", "naive"):
+            raise ValueError(f"unknown engine mode {self.config.mode!r}")
+        self.indexed = self.config.mode == "indexed"
+        self.rng = TickRandom(self.config.seed)
+        self.tick_count = 0
+        self.history: list[TickStats] = []
+
+        if self.indexed:
+            self.agg_eval = IndexedEvaluator(
+                registry, cascade=self.config.cascade, key_attr=env.schema.key
+            )
+        else:
+            self.agg_eval = NaiveEvaluator()
+
+        self._runners: dict[int, DecisionRunner] = {}
+        self._hints: dict[int, list[CallHint]] = {}
+        self._action_shapes: dict[str, ActionShape] = {
+            name: classify_action(fn.spec)
+            for name, fn in registry.actions.items()
+            if fn.spec is not None
+        }
+
+    # -- script compilation cache -------------------------------------------------
+
+    def _runner_for(self, script: ast.Script) -> DecisionRunner:
+        runner = self._runners.get(id(script))
+        if runner is None:
+            runner = DecisionRunner(
+                script,
+                self.registry,
+                index_actions=self.indexed,
+                defer_aoe=self.indexed and self.config.optimize_aoe,
+            )
+            self._runners[id(script)] = runner
+            analysis = analyze_script(script, self.registry, self.env.schema)
+            unit_params = {
+                fn.name: fn.params[0] for fn in script.functions.values()
+            }
+            self._hints[id(script)] = collect_call_hints(analysis, unit_params)
+        return runner
+
+    # -- the tick loop --------------------------------------------------------------
+
+    def tick(self) -> TickStats:
+        start = time.perf_counter()
+        self.tick_count += 1
+        self.rng.advance(self.tick_count)
+        env = self.env
+        schema = env.schema
+
+        # group units by script so hints know their probe sets
+        units_by_script: dict[int, tuple[ast.Script, list]] = {}
+        for row in env.rows:
+            script = self.script_for(row)
+            units_by_script.setdefault(id(script), (script, []))[1].append(row)
+
+        # phase 1: (re)arm the evaluator; pass sweep-batch hints
+        if self.indexed:
+            hint_pairs = []
+            for script_id, (script, units) in units_by_script.items():
+                self._runner_for(script)  # ensure hints computed
+                for hint in self._hints[script_id]:
+                    hint_pairs.append((hint, units))
+            self.agg_eval.begin_tick(env, hint_pairs)
+            by_key = env.by_key()
+        else:
+            by_key = None
+
+        # phase 2: decision
+        t0 = time.perf_counter()
+        effect_rows: list[dict[str, object]] = []
+        aoe_records: list[AoeRecord] = []
+        rng = self.rng
+        registry = self.registry
+        agg_eval = self.agg_eval
+
+        def ctx_factory(unit: Mapping[str, object]) -> EvalContext:
+            return EvalContext(
+                env=env,
+                registry=registry,
+                agg_eval=agg_eval,
+                rng=rng,
+                bindings={},
+                unit=unit,
+            )
+
+        for script_id, (script, units) in units_by_script.items():
+            runner = self._runner_for(script)
+            for unit in units:
+                runner.run_unit(unit, ctx_factory, by_key, effect_rows, aoe_records)
+        decision_time = time.perf_counter() - t0
+
+        # phase 3: second index build -- resolve deferred area effects
+        t0 = time.perf_counter()
+        if aoe_records:
+            effect_rows.extend(
+                resolve_aoe(
+                    aoe_records,
+                    env.rows,
+                    schema,
+                    self._action_shapes,
+                    registry.constants,
+                )
+            )
+        aoe_time = time.perf_counter() - t0
+
+        # phase 4: combine (Eq. 6: main⊕(E) ⊕ E)
+        t0 = time.perf_counter()
+        effects = EnvironmentTable(schema)
+        effects.rows.extend(effect_rows)
+        combined = combine_all([env, effects], schema)
+        combine_time = time.perf_counter() - t0
+
+        # phase 5: game mechanics (post-processing + movement)
+        t0 = time.perf_counter()
+        self.env = self.mechanics(combined, rng, self.tick_count)
+        mechanics_time = time.perf_counter() - t0
+
+        stats = TickStats(
+            tick=self.tick_count,
+            units=len(env),
+            effect_rows=len(effect_rows),
+            aoe_records=len(aoe_records),
+            decision_time=decision_time,
+            aoe_time=aoe_time,
+            combine_time=combine_time,
+            mechanics_time=mechanics_time,
+            total_time=time.perf_counter() - start,
+        )
+        self.history.append(stats)
+        return stats
+
+    def run(self, ticks: int) -> list[TickStats]:
+        """Simulate *ticks* clock ticks; returns their stats."""
+        return [self.tick() for _ in range(ticks)]

@@ -1,0 +1,124 @@
+"""Compilation of e-only terms and conditions to plain row functions.
+
+Index construction evaluates measure terms and build-time filters once
+per environment row (Section 5.3's "push selection on player and/or
+unit type", Figure 8's leaf aggregates).  Going through the generic
+:func:`~repro.sgl.evalterm.eval_term` machinery there would pay context
+and dispatch overhead n times per tick, so terms that reference only
+``e`` and registry constants are compiled -- once per aggregate function
+-- into closures over plain row dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..sgl import ast
+from ..sgl.errors import SglNameError, SglTypeError
+from ..sgl.evalterm import MATH_BUILTINS
+
+RowFn = Callable[[Mapping[str, object]], object]
+RowPred = Callable[[Mapping[str, object]], bool]
+
+_BINOPS: dict[str, Callable[[object, object], object]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+_COMPARES: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def compile_e_term(term: ast.Term, constants: Mapping[str, object]) -> RowFn:
+    """Compile an e-only term into ``row -> value``.
+
+    Raises :class:`SglTypeError` if the term references anything other
+    than ``e``, registry constants, or math builtins -- callers are
+    expected to have classified the term as e-only already.
+    """
+    if isinstance(term, ast.Num):
+        value = term.value
+        return lambda row: value
+    if isinstance(term, ast.Str):
+        text = term.value
+        return lambda row: text
+    if isinstance(term, ast.Name):
+        if term.ident == "e":
+            return lambda row: row
+        if term.ident in constants:
+            constant = constants[term.ident]
+            return lambda row: constant
+        raise SglNameError(f"non-e name {term.ident!r} in e-only term")
+    if isinstance(term, ast.FieldAccess):
+        base = term.base
+        attr = term.attr
+        if isinstance(base, ast.Name) and base.ident == "e":
+            return lambda row: row[attr]
+        raise SglTypeError(f"unsupported field access base {base!r}")
+    if isinstance(term, ast.BinOp):
+        op = _BINOPS.get(term.op)
+        if op is None:
+            raise SglTypeError(f"unknown operator {term.op!r}")
+        left = compile_e_term(term.left, constants)
+        right = compile_e_term(term.right, constants)
+        return lambda row: op(left(row), right(row))
+    if isinstance(term, ast.Neg):
+        inner = compile_e_term(term.operand, constants)
+        return lambda row: -inner(row)
+    if isinstance(term, ast.Call):
+        fn = MATH_BUILTINS.get(term.name)
+        if fn is None:
+            raise SglTypeError(
+                f"{term.name!r} is not a math builtin; e-only terms cannot "
+                "contain aggregates or Random"
+            )
+        arg_fns = [compile_e_term(a, constants) for a in term.args]
+        return lambda row: fn(*(f(row) for f in arg_fns))
+    raise SglTypeError(f"cannot compile term {term!r}")
+
+
+def compile_e_cond(cond: ast.Cond, constants: Mapping[str, object]) -> RowPred:
+    """Compile an e-only condition into ``row -> bool``."""
+    if isinstance(cond, ast.BoolLit):
+        value = cond.value
+        return lambda row: value
+    if isinstance(cond, ast.Compare):
+        op = _COMPARES.get(cond.op)
+        if op is None:
+            raise SglTypeError(f"unknown comparison {cond.op!r}")
+        left = compile_e_term(cond.left, constants)
+        right = compile_e_term(cond.right, constants)
+        return lambda row: op(left(row), right(row))
+    if isinstance(cond, ast.And):
+        left = compile_e_cond(cond.left, constants)
+        right = compile_e_cond(cond.right, constants)
+        return lambda row: left(row) and right(row)
+    if isinstance(cond, ast.Or):
+        left = compile_e_cond(cond.left, constants)
+        right = compile_e_cond(cond.right, constants)
+        return lambda row: left(row) or right(row)
+    if isinstance(cond, ast.Not):
+        inner = compile_e_cond(cond.operand, constants)
+        return lambda row: not inner(row)
+    raise SglTypeError(f"cannot compile condition {cond!r}")
+
+
+def compile_e_filter(
+    conjuncts: tuple[ast.Cond, ...], constants: Mapping[str, object]
+) -> RowPred | None:
+    """Compile a conjunction of e-only conditions; ``None`` when empty."""
+    if not conjuncts:
+        return None
+    preds = [compile_e_cond(c, constants) for c in conjuncts]
+    if len(preds) == 1:
+        return preds[0]
+    return lambda row: all(p(row) for p in preds)

@@ -1,0 +1,205 @@
+"""The decision phase: set-at-a-time script execution.
+
+Runs every unit's script against the tick-start environment and collects
+effect rows.  Semantically identical to the reference interpreter
+(``⊕`` is associative/commutative/idempotent -- Eq. 3 -- so appending
+all effect rows to one multiset and combining once equals the nested
+per-``Seq`` combines of Section 4.3); operationally it avoids building
+and merging thousands of one-row tables.
+
+Action application is itself classified (``repro.algebra.shapes``):
+
+* ``key`` actions resolve their target through a per-tick ``key → row``
+  hash instead of scanning E (so a ``perform FireAt`` is O(1), keeping
+  the engine's per-tick cost in the aggregates where the paper puts it);
+* ``aoe`` actions can be *deferred*: instead of emitting one effect row
+  per unit in the area, the performer registers its center of effect and
+  the post-decision resolver of :mod:`repro.engine.effects` computes the
+  combined field per unit (the ⊕ optimisation of Section 5.4);
+* ``scan`` actions run the naive Eq.-(4) evaluation.
+
+The naive engine configuration uses scan for everything, matching the
+paper's baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..algebra.shapes import ActionShape, classify_action
+from ..sgl import ast
+from ..sgl.builtins import ActionFunction, FunctionRegistry
+from ..sgl.errors import SglNameError, SglTypeError
+from ..sgl.evalterm import EvalContext, eval_cond, eval_term
+from ..sgl.sqlspec import apply_action_scan
+from .effects import AoeRecord
+
+
+class DecisionRunner:
+    """Executes one script's decisions for many units, appending effect
+    rows (and deferred AoE records) to shared per-tick collections."""
+
+    def __init__(
+        self,
+        script: ast.Script,
+        registry: FunctionRegistry,
+        *,
+        index_actions: bool = True,
+        defer_aoe: bool = False,
+    ):
+        self.script = script
+        self.registry = registry
+        self.index_actions = index_actions
+        self.defer_aoe = defer_aoe
+        self._action_shapes: dict[str, ActionShape] = {}
+
+    def _shape(self, action: ActionFunction) -> ActionShape:
+        shape = self._action_shapes.get(action.name)
+        if shape is None:
+            shape = classify_action(action.spec)
+            self._action_shapes[action.name] = shape
+        return shape
+
+    # -- per-unit execution ------------------------------------------------------
+
+    def run_unit(
+        self,
+        unit: Mapping[str, object],
+        ctx_factory: Callable[[Mapping[str, object]], EvalContext],
+        by_key: Mapping[object, Mapping[str, object]] | None,
+        out_rows: list,
+        out_aoe: list[AoeRecord],
+    ) -> None:
+        """Execute ``main`` for *unit*; *by_key* enables key actions."""
+        ctx = ctx_factory(unit)
+        main = self.script.main
+        ctx.bindings[main.params[0]] = unit
+        self._action(main.body, ctx, by_key, out_rows, out_aoe)
+
+    def _action(self, node, ctx, by_key, out_rows, out_aoe) -> None:
+        if isinstance(node, ast.Skip):
+            return
+        if isinstance(node, ast.Let):
+            value = eval_term(node.term, ctx)
+            inner = ctx.bind({node.name: value})
+            self._action(node.body, inner, by_key, out_rows, out_aoe)
+            return
+        if isinstance(node, ast.Seq):
+            self._action(node.first, ctx, by_key, out_rows, out_aoe)
+            self._action(node.second, ctx, by_key, out_rows, out_aoe)
+            return
+        if isinstance(node, ast.If):
+            if eval_cond(node.cond, ctx):
+                self._action(node.then_branch, ctx, by_key, out_rows, out_aoe)
+            elif node.else_branch is not None:
+                self._action(node.else_branch, ctx, by_key, out_rows, out_aoe)
+            return
+        if isinstance(node, ast.Perform):
+            self._perform(node, ctx, by_key, out_rows, out_aoe)
+            return
+        raise SglTypeError(f"cannot execute {node!r}")
+
+    def _perform(self, node, ctx, by_key, out_rows, out_aoe) -> None:
+        args = [eval_term(a, ctx) for a in node.args]
+
+        defined = self.script.functions.get(node.name)
+        if defined is not None:
+            inner = EvalContext(
+                env=ctx.env,
+                registry=ctx.registry,
+                agg_eval=ctx.agg_eval,
+                rng=ctx.rng,
+                bindings=dict(zip(defined.params, args)),
+                unit=ctx.unit,
+            )
+            self._action(defined.body, inner, by_key, out_rows, out_aoe)
+            return
+
+        builtin = self.registry.actions.get(node.name)
+        if builtin is None:
+            raise SglNameError(f"unknown action function {node.name!r}")
+        bindings = dict(zip(builtin.params, args))
+
+        if builtin.native is not None:
+            out_rows.extend(builtin.native(args, ctx))
+            return
+
+        if self.index_actions:
+            shape = self._shape(builtin)
+            if shape.kind == "key" and by_key is not None:
+                self._apply_key_action(builtin, shape, bindings, ctx, by_key,
+                                       out_rows)
+                return
+            if shape.kind == "aoe" and self.defer_aoe:
+                record = self._record_aoe(builtin, shape, bindings, ctx)
+                if record is not None:
+                    out_aoe.append(record)
+                return
+
+        out_rows.extend(apply_action_scan(builtin.spec, bindings, ctx))
+
+    # -- key actions ---------------------------------------------------------------
+
+    def _apply_key_action(
+        self, builtin, shape: ActionShape, bindings, ctx, by_key, out_rows
+    ) -> None:
+        probe_ctx = ctx.bind(bindings)
+        target_key = eval_term(shape.key_term, probe_ctx)
+        row = by_key.get(target_key)
+        if row is None:
+            return
+        probe_ctx.bindings["e"] = row
+        if not all(eval_cond(c, probe_ctx) for c in shape.extra_where):
+            return
+        new_row = dict(row)
+        for attr, term in builtin.spec.effects.items():
+            new_row[attr] = eval_term(term, probe_ctx)
+        out_rows.append(new_row)
+
+    # -- deferred AoE (Section 5.4) --------------------------------------------------
+
+    def _record_aoe(
+        self, builtin, shape: ActionShape, bindings, ctx
+    ) -> AoeRecord | None:
+        probe_ctx = ctx.bind(bindings)
+        for conjunct in shape.u_only:
+            if not eval_cond(conjunct, probe_ctx):
+                return None
+        bounds = []
+        for constraint in shape.ranges:
+            lo, hi = _eval_bounds(constraint, probe_ctx)
+            if lo > hi:
+                return None
+            bounds.append((lo, hi))
+        (xlo, xhi), (ylo, yhi) = bounds
+        return AoeRecord(
+            action=builtin.name,
+            attr=shape.effect_attr,
+            value=eval_term(shape.value_term, probe_ctx),
+            center=((xlo + xhi) / 2.0, (ylo + yhi) / 2.0),
+            extents=((xhi - xlo) / 2.0, (yhi - ylo) / 2.0),
+            eq_vals=tuple(
+                eval_term(c.value_term, probe_ctx) for c in shape.eq_cats
+            ),
+            neq_vals=tuple(
+                eval_term(c.value_term, probe_ctx) for c in shape.neq_cats
+            ),
+        )
+
+
+def _eval_bounds(constraint, probe_ctx) -> tuple[float, float]:
+    import math
+
+    lo = float("-inf")
+    for bound in constraint.lowers:
+        value = float(eval_term(bound.term, probe_ctx))
+        if bound.strict:
+            value = math.nextafter(value, float("inf"))
+        lo = max(lo, value)
+    hi = float("inf")
+    for bound in constraint.uppers:
+        value = float(eval_term(bound.term, probe_ctx))
+        if bound.strict:
+            value = math.nextafter(value, float("-inf"))
+        hi = min(hi, value)
+    return lo, hi

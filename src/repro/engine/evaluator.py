@@ -1,0 +1,600 @@
+"""The two pluggable aggregate-query evaluators (Section 6).
+
+"There are two 'pluggable' versions of our aggregate query evaluator.
+One executes aggregate queries naively, using straightforward O(n)
+algorithms, for a total cost of O(n²) per tick.  The other uses
+in-memory indexing ... to reduce the complexity to O(n log n)."
+
+* :class:`NaiveEvaluator` re-exports the scan evaluator of the reference
+  interpreter -- every aggregate call walks all n environment rows.
+
+* :class:`IndexedEvaluator` compiles each aggregate function's
+  :class:`~repro.algebra.shapes.AggregateShape` once, then per tick
+  builds exactly the index the shape calls for and answers every call
+  by probing it:
+
+  ========== ==============================================================
+  shape      per-tick index
+  ========== ==============================================================
+  divisible  hash layers (eq/neq cats) → Figure-8 prefix-aggregate tree
+  nearest    hash layers → kD-tree, residual conjuncts as search predicates
+  extreme    Figure-9 sweep-line batches, grouped by constant range extents
+  fallback   hash layers → partitioned row scan
+  ========== ==============================================================
+
+  Indexes are rebuilt from scratch every tick, as the paper advocates
+  for rapidly-changing data ("we are still likely to see significant
+  performance gains even if, at each clock tick, we discard the index
+  and build a new one from scratch").
+
+Both evaluators return *identical* results -- including argmin/argmax
+tie-breaks -- which the equivalence tests assert on random battles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..algebra.shapes import AggregateShape, classify_aggregate
+from ..env.table import EnvironmentTable
+from ..indexes.composite import GroupAggIndex
+from ..indexes.hash_layer import PartitionedIndex
+from ..indexes.kdtree import KDTree
+from ..indexes.sweepline import sweep_arg_minmax
+from ..sgl import ast
+from ..sgl.builtins import AggregateFunction, FunctionRegistry
+from ..sgl.evalterm import EvalContext, eval_cond, eval_term
+from ..sgl.interp import NaiveAggregateEvaluator
+from ..sgl.sqlspec import AggOutput, evaluate_aggregate_scan, finalize_outputs
+from ..sgl.values import Record
+from .compile import compile_e_filter, compile_e_term
+
+#: The naive evaluator is exactly the reference interpreter's.
+NaiveEvaluator = NaiveAggregateEvaluator
+
+_INF = float("inf")
+
+
+def empty_aggregate_result(outputs: Sequence[AggOutput]) -> object:
+    """The value of an aggregate over an empty selection."""
+    values = [
+        0 if o.agg == "count" else (0 if o.agg == "sum" else None)
+        for o in outputs
+    ]
+    return finalize_outputs(outputs, values)
+
+
+@dataclass(frozen=True)
+class CallHint:
+    """A statically-analysable aggregate call site.
+
+    ``arg_terms`` are the call's argument terms; a hint is only emitted
+    when every term is computable from the unit row alone (the unit
+    parameter, its attributes, and constants), which is what allows the
+    sweep-line batches to be precomputed for all units at tick start.
+    """
+
+    function: str
+    unit_param: str
+    arg_terms: tuple[ast.Term, ...]
+
+
+@dataclass
+class _CompiledShape:
+    """Per-aggregate static compilation artefacts."""
+
+    shape: AggregateShape
+    measures: list = field(default_factory=list)  # RowFn per measured output
+    measure_slot: list = field(default_factory=list)  # output idx -> slot/None
+    build_filter: object = None  # RowPred | None (e-only conjuncts)
+    value_fn: object = None  # RowFn for extreme value terms
+
+
+class IndexedEvaluator:
+    """Index-backed aggregate evaluation; rebuilds indexes each tick."""
+
+    def __init__(
+        self,
+        registry: FunctionRegistry,
+        *,
+        cascade: bool = True,
+        key_attr: str = "key",
+    ):
+        self.registry = registry
+        self.cascade = cascade
+        self.key_attr = key_attr
+        self._compiled: dict[str, _CompiledShape] = {}
+        # per-tick caches
+        self._env: EnvironmentTable | None = None
+        self._div_index: dict[str, PartitionedIndex] = {}
+        self._kd_index: dict[str, PartitionedIndex] = {}
+        self._row_index: dict[str, PartitionedIndex] = {}
+        self._batch: dict[tuple, object] = {}
+        self._batch_ready: set[str] = set()
+        self._hints: list[tuple[CallHint, list[Mapping[str, object]]]] = []
+        # instrumentation
+        self.stats: dict[str, int] = {}
+
+    # -- tick lifecycle ---------------------------------------------------------
+
+    def begin_tick(
+        self,
+        env: EnvironmentTable,
+        hints: Iterable[tuple[CallHint, list[Mapping[str, object]]]] = (),
+    ) -> None:
+        """Reset per-tick state; *hints* pair call sites with the unit
+        rows that will execute them (used for sweep-line batching)."""
+        self._env = env
+        self._div_index.clear()
+        self._kd_index.clear()
+        self._row_index.clear()
+        self._batch.clear()
+        self._batch_ready.clear()
+        self._hints = list(hints)
+
+    def _bump(self, counter: str) -> None:
+        self.stats[counter] = self.stats.get(counter, 0) + 1
+
+    # -- static compilation -------------------------------------------------------
+
+    def _compiled_shape(self, fn: AggregateFunction) -> _CompiledShape:
+        cached = self._compiled.get(fn.name)
+        if cached is not None:
+            return cached
+        shape = classify_aggregate(fn.spec)
+        compiled = _CompiledShape(shape=shape)
+        constants = self.registry.constants
+        compiled.build_filter = compile_e_filter(shape.e_only, constants)
+        if shape.kind == "divisible":
+            slot = 0
+            for output in shape.outputs:
+                if output.term is None:
+                    compiled.measure_slot.append(None)
+                else:
+                    compiled.measures.append(
+                        compile_e_term(output.term, constants)
+                    )
+                    compiled.measure_slot.append(slot)
+                    slot += 1
+        elif shape.kind == "extreme":
+            compiled.value_fn = compile_e_term(shape.extreme_value, constants)
+        self._compiled[fn.name] = compiled
+        return compiled
+
+    # -- the AggregateEvaluator protocol --------------------------------------------
+
+    def evaluate(
+        self, function: AggregateFunction, args: list[object], ctx: EvalContext
+    ) -> object:
+        if function.native is not None:
+            self._bump("native")
+            return function.native(args, ctx.env.rows, ctx)
+
+        compiled = self._compiled_shape(function)
+        shape = compiled.shape
+        bindings = dict(zip(function.params, args))
+        probe_ctx = ctx.bind(bindings)
+
+        for conjunct in shape.u_only:
+            if not eval_cond(conjunct, probe_ctx):
+                return empty_aggregate_result(shape.outputs)
+
+        if shape.kind == "divisible":
+            return self._eval_divisible(function, compiled, probe_ctx)
+        if shape.kind == "nearest":
+            return self._eval_nearest(function, compiled, probe_ctx)
+        if shape.kind == "extreme":
+            result = self._eval_extreme(function, compiled, args, probe_ctx)
+            if result is not NotImplemented:
+                return result
+        return self._eval_fallback(function, compiled, bindings, ctx)
+
+    # -- shared probe helpers ---------------------------------------------------
+
+    def _cat_values(
+        self, shape: AggregateShape, probe_ctx: EvalContext
+    ) -> tuple[tuple, tuple]:
+        eq_vals = tuple(
+            eval_term(c.value_term, probe_ctx) for c in shape.eq_cats
+        )
+        neq_vals = tuple(
+            eval_term(c.value_term, probe_ctx) for c in shape.neq_cats
+        )
+        return eq_vals, neq_vals
+
+    @staticmethod
+    def _group_matches(key: tuple, eq_vals: tuple, neq_vals: tuple) -> bool:
+        ne = len(eq_vals)
+        if key[:ne] != eq_vals:
+            return False
+        return all(key[ne + i] != v for i, v in enumerate(neq_vals))
+
+    def _matching_groups(
+        self,
+        index: PartitionedIndex,
+        shape: AggregateShape,
+        probe_ctx: EvalContext,
+    ) -> list:
+        eq_vals, neq_vals = self._cat_values(shape, probe_ctx)
+        if not neq_vals:
+            group = index.probe(eq_vals)
+            return [group] if group is not None else []
+        return [
+            group
+            for key, group in index.groups.items()
+            if self._group_matches(key, eq_vals, neq_vals)
+        ]
+
+    def _bounds(
+        self, shape: AggregateShape, probe_ctx: EvalContext
+    ) -> list[tuple[float, float]] | None:
+        """Evaluate each range constraint to a closed [lo, hi] interval.
+
+        Strict bounds are tightened to the adjacent float, which is
+        exact for the values actually stored in the index.  Returns
+        ``None`` when some interval is empty.
+        """
+        bounds: list[tuple[float, float]] = []
+        for constraint in shape.ranges:
+            lo = -_INF
+            for bound in constraint.lowers:
+                value = float(eval_term(bound.term, probe_ctx))
+                if bound.strict:
+                    value = math.nextafter(value, _INF)
+                lo = max(lo, value)
+            hi = _INF
+            for bound in constraint.uppers:
+                value = float(eval_term(bound.term, probe_ctx))
+                if bound.strict:
+                    value = math.nextafter(value, -_INF)
+                hi = min(hi, value)
+            if lo > hi:
+                return None
+            bounds.append((lo, hi))
+        return bounds
+
+    # -- divisible aggregates (Figure 8) -----------------------------------------
+
+    def _eval_divisible(
+        self,
+        fn: AggregateFunction,
+        compiled: _CompiledShape,
+        probe_ctx: EvalContext,
+    ) -> object:
+        shape = compiled.shape
+        index = self._div_index.get(fn.name)
+        if index is None:
+            self._bump("build_divisible")
+            rows = self._filtered_rows(compiled)
+            index = PartitionedIndex(
+                rows,
+                shape.cat_attrs,
+                factory=lambda group: GroupAggIndex(
+                    group,
+                    shape.range_attrs,
+                    compiled.measures,
+                    cascade=self.cascade,
+                ),
+            )
+            self._div_index[fn.name] = index
+        self._bump("probe_divisible")
+
+        groups = self._matching_groups(index, shape, probe_ctx)
+        if not groups:
+            return empty_aggregate_result(shape.outputs)
+        bounds = self._bounds(shape, probe_ctx)
+        if bounds is None:
+            return empty_aggregate_result(shape.outputs)
+
+        # merge per-group moments (divisibility makes this exact)
+        merged = None
+        for group in groups:
+            moments = group.query(bounds)
+            merged = (
+                moments
+                if merged is None
+                else tuple(a.merge(b) for a, b in zip(merged, moments))
+            )
+
+        values = []
+        for output, slot in zip(shape.outputs, compiled.measure_slot):
+            if output.agg == "count":
+                values.append(merged[0].count)
+            else:
+                values.append(merged[slot].finalize(output.agg))
+        return finalize_outputs(shape.outputs, values)
+
+    # -- nearest neighbour (Section 5.3.2) ----------------------------------------
+
+    def _eval_nearest(
+        self,
+        fn: AggregateFunction,
+        compiled: _CompiledShape,
+        probe_ctx: EvalContext,
+    ) -> object:
+        shape = compiled.shape
+        index = self._kd_index.get(fn.name)
+        if index is None:
+            self._bump("build_kdtree")
+            rows = self._filtered_rows(compiled)
+            ax, ay = shape.nearest_attrs
+            index = PartitionedIndex(
+                rows,
+                shape.cat_attrs,
+                factory=lambda group: KDTree(
+                    [(r[ax], r[ay]) for r in group], group
+                ),
+            )
+            self._kd_index[fn.name] = index
+        self._bump("probe_kdtree")
+
+        groups = self._matching_groups(index, shape, probe_ctx)
+        if not groups:
+            return None
+        cx, cy = shape.nearest_centers
+        center = (
+            float(eval_term(cx, probe_ctx)),
+            float(eval_term(cy, probe_ctx)),
+        )
+        bounds = self._bounds(shape, probe_ctx)
+        if bounds is None:
+            return None
+        predicate = self._row_predicate(shape, bounds, probe_ctx)
+        exclude = (
+            None if predicate is None else (lambda row: not predicate(row))
+        )
+        key_attr = self.key_attr
+        tie_key = lambda row: row[key_attr]  # noqa: E731
+
+        best_row = None
+        best = (_INF, None)
+        for tree in groups:
+            found = tree.nearest(center, exclude=exclude, tie_key=tie_key)
+            if found is None:
+                continue
+            row, dist_sq = found
+            candidate = (dist_sq, row[key_attr])
+            if best_row is None or candidate < best:
+                best_row, best = row, candidate
+        if best_row is None:
+            return None
+        return Record(best_row) if shape.returns_row else best[0]
+
+    def _row_predicate(self, shape, bounds, probe_ctx):
+        """Residual + range predicate for kD-tree candidate filtering."""
+        checks = []
+        if bounds:
+            range_attrs = shape.range_attrs
+            checks.append(
+                lambda row: all(
+                    lo <= row[attr] <= hi
+                    for attr, (lo, hi) in zip(range_attrs, bounds)
+                )
+            )
+        if shape.residual:
+            residual = shape.residual
+
+            def residual_check(row, _ctx=probe_ctx, _residual=residual):
+                _ctx.bindings["e"] = row
+                return all(eval_cond(c, _ctx) for c in _residual)
+
+            checks.append(residual_check)
+        if not checks:
+            return None
+        if len(checks) == 1:
+            return checks[0]
+        return lambda row: all(c(row) for c in checks)
+
+    # -- extreme aggregates: sweep-line batches (Figure 9) -------------------------
+
+    def _eval_extreme(
+        self,
+        fn: AggregateFunction,
+        compiled: _CompiledShape,
+        args: list[object],
+        probe_ctx: EvalContext,
+    ) -> object:
+        if fn.name not in self._batch_ready:
+            self._build_extreme_batches(fn, compiled)
+        signature = (fn.name, _args_signature(args, self.key_attr))
+        if signature in self._batch:
+            self._bump("probe_sweep")
+            result = self._batch[signature]
+            if result is None:
+                return None
+            value, row = result
+            return Record(row) if compiled.shape.returns_row else value
+        self._bump("sweep_miss")
+        return NotImplemented  # dynamic args: caller falls back to scan
+
+    def _build_extreme_batches(
+        self, fn: AggregateFunction, compiled: _CompiledShape
+    ) -> None:
+        """Run the Figure-9 sweeps for every hinted call site of *fn*.
+
+        Probes are grouped by (category values, range extents); each
+        group with constant extents gets one sweep per source partition,
+        and per-probe results merge across the partitions its eq/neq
+        constraints select.
+        """
+        self._batch_ready.add(fn.name)
+        self._bump("build_sweep")
+        shape = compiled.shape
+        key_attr = self.key_attr
+        constants = self.registry.constants
+
+        sources = self._filtered_rows(compiled)
+        partitions: dict[tuple, list] = {}
+        for row in sources:
+            key = tuple(row[a] for a in shape.cat_attrs)
+            partitions.setdefault(key, []).append(row)
+
+        ax, ay = shape.range_attrs  # classifier guarantees exactly 2 dims
+        value_fn = compiled.value_fn
+        part_data = {
+            key: (
+                [(r[ax], r[ay]) for r in rows],
+                [value_fn(r) for r in rows],
+                [r[key_attr] for r in rows],
+                {r[key_attr]: r for r in rows},
+            )
+            for key, rows in partitions.items()
+        }
+
+        # collect probes per (eq_vals, neq_vals, extents) group
+        groups: dict[tuple, list] = {}
+        for hint, units in self._hints:
+            if hint.function != fn.name:
+                continue
+            for unit in units:
+                ctx = EvalContext(
+                    env=self._env,
+                    registry=self.registry,
+                    agg_eval=self,
+                    rng=_no_random,
+                    bindings={hint.unit_param: unit},
+                    unit=unit,
+                )
+                arg_values = [eval_term(t, ctx) for t in hint.arg_terms]
+                probe_ctx = ctx.bind(dict(zip(fn.params, arg_values)))
+                skip = False
+                for conjunct in shape.u_only:
+                    if not eval_cond(conjunct, probe_ctx):
+                        skip = True
+                        break
+                signature = (fn.name, _args_signature(arg_values, key_attr))
+                if skip:
+                    # u-only predicate failed: empty selection
+                    self._batch[signature] = None
+                    continue
+                bounds = self._bounds(shape, probe_ctx)
+                if bounds is None:
+                    self._batch[signature] = None
+                    continue
+                (xlo, xhi), (ylo, yhi) = bounds
+                rx = (xhi - xlo) / 2.0
+                ry = (yhi - ylo) / 2.0
+                center = ((xlo + xhi) / 2.0, (ylo + yhi) / 2.0)
+                eq_vals, neq_vals = self._cat_values(shape, probe_ctx)
+                group_key = (eq_vals, neq_vals, round(rx, 9), round(ry, 9))
+                groups.setdefault(group_key, []).append((signature, center))
+
+        kind = shape.extreme_kind
+        for (eq_vals, neq_vals, rx, ry), probes in groups.items():
+            centers = [c for _, c in probes]
+            merged: list = [None] * len(probes)
+            for part_key, (xy, values, keys, by_key) in part_data.items():
+                if not self._group_matches(part_key, eq_vals, neq_vals):
+                    continue
+                results = sweep_arg_minmax(
+                    xy, values, keys, centers, rx, ry, kind
+                )
+                for i, res in enumerate(results):
+                    if res is None:
+                        continue
+                    value, key = res
+                    candidate = (value, key) if kind == "min" else (-value, key)
+                    if merged[i] is None or candidate < merged[i][0]:
+                        merged[i] = (candidate, by_key[key])
+            for (signature, _), entry in zip(probes, merged):
+                if entry is None:
+                    self._batch[signature] = None
+                else:
+                    (ordered_value, _), row = entry
+                    value = ordered_value if kind == "min" else -ordered_value
+                    self._batch[signature] = (value, row)
+
+    # -- fallback: partitioned scan -------------------------------------------------
+
+    def _eval_fallback(
+        self,
+        fn: AggregateFunction,
+        compiled: _CompiledShape,
+        bindings: dict[str, object],
+        ctx: EvalContext,
+    ) -> object:
+        shape = compiled.shape
+        index = self._row_index.get(fn.name)
+        if index is None:
+            self._bump("build_rows")
+            index = PartitionedIndex(
+                self._filtered_rows(compiled), shape.cat_attrs, factory=list
+            )
+            self._row_index[fn.name] = index
+        self._bump("probe_scan")
+        probe_ctx = ctx.bind(bindings)
+        groups = self._matching_groups(index, shape, probe_ctx)
+        if not groups:
+            return empty_aggregate_result(shape.outputs)
+        rows: list = []
+        for group in groups:
+            rows.extend(group)
+        return evaluate_aggregate_scan(fn.spec, bindings, rows, ctx)
+
+    def _filtered_rows(self, compiled: _CompiledShape) -> list:
+        rows = self._env.rows
+        if compiled.build_filter is None:
+            return rows
+        build_filter = compiled.build_filter
+        return [row for row in rows if build_filter(row)]
+
+
+def _args_signature(args: Sequence[object], key_attr: str) -> tuple:
+    """Hashable signature of aggregate-call arguments.
+
+    Unit rows are identified by their key; vectors by their components.
+    """
+    out = []
+    for arg in args:
+        if isinstance(arg, Mapping):
+            out.append(("row", arg[key_attr]))
+        elif hasattr(arg, "items") and not isinstance(arg, (str, bytes)):
+            out.append(("vec", tuple(arg.items)))
+        else:
+            out.append(arg)
+    return tuple(out)
+
+
+def _no_random(row: Mapping[str, object], i: int) -> int:
+    raise RuntimeError(
+        "Random is not available while precomputing sweep batches; "
+        "hinted call arguments must be deterministic unit terms"
+    )
+
+
+def collect_call_hints(analysis, script_unit_param_by_fn=None) -> list[CallHint]:
+    """Derive :class:`CallHint` objects from a script analysis.
+
+    A call site qualifies when every argument term references only the
+    enclosing function's unit parameter and registry constants -- i.e.
+    the arguments are computable before the decision phase runs.
+    """
+    from ..algebra.shapes import names_in, refs_random
+
+    hints = []
+    for call in analysis.aggregate_calls:
+        unit_param = (
+            script_unit_param_by_fn.get(call.enclosing, "u")
+            if script_unit_param_by_fn
+            else "u"
+        )
+        ok = True
+        for term in call.args:
+            names = names_in(term)
+            if not (names <= {unit_param} or all(n.startswith("_") or n == unit_param for n in names)):
+                ok = False
+                break
+            if refs_random(term):
+                ok = False
+                break
+        if ok:
+            hints.append(
+                CallHint(
+                    function=call.function,
+                    unit_param=unit_param,
+                    arg_terms=call.args,
+                )
+            )
+    return hints

@@ -1,0 +1,128 @@
+"""The grid movement phase of the experimental engine (Section 6).
+
+"Units attempt to move in directions they have decided on earlier.
+This is done in random order, with collision detection and very simple
+pathfinding rules."
+
+The world is a square grid with at most one unit per cell (the paper's
+density metric is "percent of game grid squares occupied").  Each tick,
+every unit with a nonzero movement vector tries to advance ``speed``
+steps toward its desired direction, one 8-neighbourhood cell at a time:
+
+* the desired step is the neighbour closest in angle to the movement
+  vector;
+* if that cell is occupied, the two adjacent directions are tried in a
+  randomly chosen order (the "very simple pathfinding");
+* if all three are blocked the unit stays put for this step.
+
+Processing order is a seeded random permutation so the naive and
+indexed engines move units identically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence
+
+#: The 8 neighbourhood directions in angle order.
+_DIRS = [
+    (1, 0), (1, 1), (0, 1), (-1, 1),
+    (-1, 0), (-1, -1), (0, -1), (1, -1),
+]
+
+
+def desired_direction(mvx: float, mvy: float) -> int:
+    """Index into the 8 directions nearest the vector's angle."""
+    angle = math.atan2(mvy, mvx)
+    step = math.pi / 4.0
+    return round(angle / step) % 8
+
+
+class Grid:
+    """Occupancy grid with toroidal-free (clamped) coordinates."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self._cells: dict[tuple[int, int], object] = {}
+
+    def place(self, key: object, x: int, y: int) -> None:
+        self._cells[(x, y)] = key
+
+    def remove(self, x: int, y: int) -> None:
+        self._cells.pop((x, y), None)
+
+    def occupied(self, x: int, y: int) -> bool:
+        return (x, y) in self._cells
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.size and 0 <= y < self.size
+
+    def free_cell_near(
+        self, x: int, y: int, rand: Callable[[int], int]
+    ) -> tuple[int, int] | None:
+        """Spiral outward for a free in-bounds cell (resurrection)."""
+        if self.in_bounds(x, y) and not self.occupied(x, y):
+            return x, y
+        for radius in range(1, self.size):
+            candidates = []
+            for dx in range(-radius, radius + 1):
+                for dy in (-radius, radius):
+                    candidates.append((x + dx, y + dy))
+            for dy in range(-radius + 1, radius):
+                for dx in (-radius, radius):
+                    candidates.append((x + dx, y + dy))
+            candidates = [
+                c for c in candidates
+                if self.in_bounds(*c) and not self.occupied(*c)
+            ]
+            if candidates:
+                return candidates[rand(len(candidates))]
+        return None
+
+
+def run_movement_phase(
+    rows: Sequence[Mapping[str, object]],
+    grid_size: int,
+    rng: Callable[[Mapping[str, object], int], int],
+    *,
+    x_attr: str = "posx",
+    y_attr: str = "posy",
+    key_attr: str = "key",
+) -> None:
+    """Apply movement vectors in place (rows mutate their positions).
+
+    *rng* is the per-tick deterministic random function; it drives both
+    the processing permutation and the side-step choice.
+    """
+    grid = Grid(grid_size)
+    for row in rows:
+        grid.place(row[key_attr], int(row[x_attr]), int(row[y_attr]))
+
+    # seeded random processing order ("movement is done in random order")
+    order = sorted(rows, key=lambda r: (rng(r, 7_301_333), r[key_attr]))
+
+    for row in order:
+        mvx = row["movevect_x"]
+        mvy = row["movevect_y"]
+        if not mvx and not mvy:
+            continue
+        steps = max(int(row.get("speed", 1)), 1)
+        x, y = int(row[x_attr]), int(row[y_attr])
+        want = desired_direction(mvx, mvy)
+        for step in range(steps):
+            placed = False
+            # desired direction, then the two adjacent ones in random order
+            side = 1 if rng(row, 9_000_101 + step) % 2 == 0 else -1
+            for delta in (0, side, -side):
+                dx, dy = _DIRS[(want + delta) % 8]
+                nx, ny = x + dx, y + dy
+                if grid.in_bounds(nx, ny) and not grid.occupied(nx, ny):
+                    grid.remove(x, y)
+                    grid.place(row[key_attr], nx, ny)
+                    x, y = nx, ny
+                    placed = True
+                    break
+            if not placed:
+                break  # blocked: give up for this tick
+        row[x_attr] = x
+        row[y_attr] = y

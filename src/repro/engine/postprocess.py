@@ -1,0 +1,86 @@
+"""Post-processing: applying combined effects (Example 4.1).
+
+"Only once we have combined all of the individual environments together
+do we actually apply the effects and change the state of the units.
+This is done by a post-processing step outside of the SGL scripts, and
+is considered as part of the game mechanics."
+
+:func:`example_41_postprocess` is a literal transcription of the SQL
+query in Example 4.1 -- movement-vector normalisation, damage/healing,
+cooldown bookkeeping, effect-attribute reset, and removal of the dead.
+The battle simulation's mechanics (:mod:`repro.game.battle`) replace the
+declarative movement update with the grid movement phase of Section 6
+but keep the same health/cooldown semantics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..env.table import EnvironmentTable
+
+
+def example_41_postprocess(
+    combined: EnvironmentTable,
+    *,
+    walk_dist_per_tick: float = 1.0,
+    time_reload: int = 1,
+    clamp_health: bool = True,
+) -> EnvironmentTable:
+    """The Example 4.1 update query over the combined environment.
+
+    Implements::
+
+        SELECT u.key, u.player,
+               u.posx + u.movevect_x * norm AS posx,
+               u.posy + u.movevect_y * norm AS posy,
+               u.health - u.damage + u.inaura AS health,
+               u.cooldown - 1 + u.weaponused * _TIME_RELOAD AS cooldown,
+               0 AS weaponused, 0 AS movevect_x, 0 AS movevect_y,
+               0 AS damage, 0 AS inaura
+        FROM E u WHERE u.health > 0   -- remove the dead
+
+    where ``norm = WALK_DIST_PER_TICK / |movevect|``.  With
+    *clamp_health* the healed value never exceeds ``max_health``
+    (Section 3.2: "health can never be restored beyond the initial
+    health") and cooldowns floor at zero.
+    """
+    schema = combined.schema
+    out = EnvironmentTable(schema)
+    defaults = schema.effect_defaults()
+    for row in combined:
+        mvx = row["movevect_x"]
+        mvy = row["movevect_y"]
+        if mvx or mvy:
+            norm = walk_dist_per_tick / math.sqrt(mvx * mvx + mvy * mvy)
+            # never overshoot the target of a short move
+            norm = min(norm, 1.0)
+            posx = row["posx"] + mvx * norm
+            posy = row["posy"] + mvy * norm
+        else:
+            posx, posy = row["posx"], row["posy"]
+
+        inaura = row["inaura"]
+        if inaura == float("-inf"):  # no aura applied this tick
+            inaura = 0
+        health = row["health"] - row["damage"] + inaura
+        if clamp_health and "max_health" in schema:
+            health = min(health, row["max_health"])
+
+        weaponused = row["weaponused"]
+        if weaponused == float("-inf"):
+            weaponused = 0
+        cooldown = row["cooldown"] - 1 + weaponused * time_reload
+        cooldown = max(cooldown, 0)
+
+        if health <= 0:
+            continue  # remove the dead
+
+        new_row = dict(row)
+        new_row.update(defaults)
+        new_row["posx"] = posx
+        new_row["posy"] = posy
+        new_row["health"] = health
+        new_row["cooldown"] = cooldown
+        out.rows.append(new_row)
+    return out

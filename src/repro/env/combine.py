@@ -1,0 +1,92 @@
+"""The combination operator ``⊕`` (Section 4.2).
+
+``⊕R`` groups a table on its ``const``-tagged attributes and merges each
+effect attribute with the aggregate named by its tag::
+
+    select K, f1(A1) as A1, ..., fm(Am) as Am
+    from R group by K, <const attributes>;
+
+where ``f`` is identity for const attributes and ``sum``/``min``/``max``
+otherwise (Eq. 2).  Because those aggregates are associative and
+commutative, ``⊕`` is too, and Eq. (3) gives::
+
+    ⊕(E1 ⊎ E2) = ⊕(⊕(E1) ⊎ E2)          (incremental combining)
+    ⊕(⊕(E))     = ⊕(E)                    (idempotence)
+
+These identities are what license the query-plan rewrites of Section 5.2;
+they are verified by property tests in ``tests/env/test_combine.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .schema import AttributeType, Schema, SchemaError
+from .table import EnvironmentTable
+
+_COMBINE_FUNCS = {
+    AttributeType.SUM: lambda a, b: a + b,
+    AttributeType.MAX: max,
+    AttributeType.MIN: min,
+}
+
+
+def combine(table: EnvironmentTable) -> EnvironmentTable:
+    """Compute ``⊕table``: one row per const-attribute group.
+
+    The result is keyed by ``K`` whenever the const attributes are
+    functionally determined by ``K`` -- which holds for every table derived
+    from a keyed environment, since scripts cannot modify const attributes.
+    """
+    schema = table.schema
+    const_names = schema.const_names
+    effect_tags = [(name, schema.tag_of(name)) for name in schema.effect_names]
+
+    groups: dict[tuple, dict[str, object]] = {}
+    for row in table:
+        sig = tuple(row[n] for n in const_names)
+        acc = groups.get(sig)
+        if acc is None:
+            groups[sig] = dict(row)
+        else:
+            for name, tag in effect_tags:
+                acc[name] = _COMBINE_FUNCS[tag](acc[name], row[name])
+
+    out = EnvironmentTable(schema)
+    out.rows.extend(groups.values())
+    return out
+
+
+def combine_pair(left: EnvironmentTable, right: EnvironmentTable) -> EnvironmentTable:
+    """``R ⊕ S`` -- shortcut for ``⊕(R ⊎ S)`` (Section 4.2)."""
+    if left.schema != right.schema:
+        raise SchemaError("⊕ requires identical schemas")
+    return combine(left.union(right))
+
+
+def combine_all(tables: Iterable[EnvironmentTable], schema: Schema) -> EnvironmentTable:
+    """Combine any number of effect tables into one.
+
+    Exploits associativity by accumulating into a single hash of groups
+    rather than materialising the intermediate multiset union, i.e. it is
+    the ``⊕(⨄ ...)`` of Eq. (7) computed in one pass.
+    """
+    const_names = schema.const_names
+    effect_tags = [(name, schema.tag_of(name)) for name in schema.effect_names]
+
+    groups: dict[tuple, dict[str, object]] = {}
+    for table in tables:
+        if table.schema != schema:
+            raise SchemaError("⊕ requires identical schemas")
+        for row in table:
+            sig = tuple(row[n] for n in const_names)
+            acc = groups.get(sig)
+            if acc is None:
+                groups[sig] = dict(row)
+            else:
+                for name, tag in effect_tags:
+                    acc[name] = _COMBINE_FUNCS[tag](acc[name], row[name])
+
+    out = EnvironmentTable(schema)
+    out.rows.extend(groups.values())
+    return out

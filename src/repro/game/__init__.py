@@ -1,0 +1,70 @@
+"""The RTS battle-simulation case study (Sections 3.2 and 6)."""
+
+from .battle import BattleSimulation, BattleSummary
+from .d20 import (
+    CombatProfile,
+    armor_class,
+    attack_hits,
+    damage_roll,
+    expected_damage,
+    resolve_attack,
+)
+from .scenario import (
+    DEFAULT_COMPOSITION,
+    composition_counts,
+    density_sweep,
+    grid_size_for_density,
+    two_army_battle,
+    uniform_battle,
+)
+from .scripts import (
+    ACTION_SQL,
+    AGGREGATE_SQL,
+    ARCHER_SCRIPT,
+    FIGURE_3_SCRIPT,
+    HEALER_SCRIPT,
+    KNIGHT_SCRIPT,
+    build_registry,
+    build_scripts,
+)
+from .units import (
+    ARCHER,
+    GAME_CONSTANTS,
+    HEALER,
+    KNIGHT,
+    PROFILES,
+    UNIT_TYPES,
+    unit_row,
+)
+
+__all__ = [
+    "ACTION_SQL",
+    "AGGREGATE_SQL",
+    "ARCHER",
+    "ARCHER_SCRIPT",
+    "BattleSimulation",
+    "BattleSummary",
+    "CombatProfile",
+    "DEFAULT_COMPOSITION",
+    "FIGURE_3_SCRIPT",
+    "GAME_CONSTANTS",
+    "HEALER",
+    "HEALER_SCRIPT",
+    "KNIGHT",
+    "KNIGHT_SCRIPT",
+    "PROFILES",
+    "UNIT_TYPES",
+    "armor_class",
+    "attack_hits",
+    "build_registry",
+    "build_scripts",
+    "composition_counts",
+    "damage_roll",
+    "density_sweep",
+    "expected_damage",
+    "grid_size_for_density",
+    "resolve_attack",
+    "two_army_battle",
+    "uniform_battle",
+    "unit_row",
+]

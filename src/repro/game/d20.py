@@ -1,0 +1,103 @@
+"""d20 System combat mechanics (Section 3.2).
+
+"For modeling specifics such as determining damage, the effects of
+armor, and so on, we use the game mechanics in the pen-and-paper d20
+system."  This module implements the SRD core resolution:
+
+* **armor class**: ``AC = 10 + armor bonus``;
+* **attack roll**: ``d20 + attack bonus``; hits when it meets or beats
+  the target's AC.  A natural 1 always misses, a natural 20 always hits
+  (we omit critical multipliers to keep the SGL encoding linear);
+* **damage roll**: ``d<damage_die> + damage bonus``.
+
+The same formulas are encoded arithmetically in the FireAt SQL action
+(:mod:`repro.game.scripts`) using the ``step`` builtin; the test suite
+verifies the SGL encoding agrees with this Python reference roll for
+roll.  The d20 system also motivates the paper's scaling argument: d20
+visibility rules let a unit see and reason about areas containing up to
+25 000 other units, unlike the ~100-unit sight caps of commercial RTS
+engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: d20 sight radius, in grid cells.  A (2·79+1)² box covers ~25 000
+#: cells -- the paper's "areas containing up to 25,000 other units".
+D20_SIGHT_RADIUS = 79
+
+
+def armor_class(armor_bonus: int) -> int:
+    """SRD: base AC 10 plus armor bonus."""
+    return 10 + armor_bonus
+
+
+def attack_hits(d20_roll: int, attack_bonus: int, target_ac: int) -> bool:
+    """SRD to-hit: meet or beat the target's armor class.
+
+    The natural-1/natural-20 auto-miss/auto-hit rules are omitted so the
+    check stays a single linear inequality -- expressible in the
+    restricted SQL fragment as ``step(roll + bonus - ac)`` without CASE
+    (documented substitution; it shifts hit probabilities by at most
+    1/20 at extreme ACs).
+    """
+    return d20_roll + attack_bonus >= target_ac
+
+
+def damage_roll(die_roll: int, damage_bonus: int) -> int:
+    """SRD damage: weapon die + bonus, minimum 1 on a hit."""
+    return max(die_roll + damage_bonus, 1)
+
+
+def resolve_attack(
+    attack_bonus: int,
+    damage_die: int,
+    damage_bonus: int,
+    target_armor: int,
+    rand: Callable[[int], int],
+) -> int:
+    """Full attack resolution; *rand(i)* supplies the i-th raw random.
+
+    Returns the damage dealt (0 on a miss).  Randoms are consumed in the
+    same order as the SGL FireAt encoding: index 1 for the d20, index 2
+    for the damage die.
+    """
+    d20 = rand(1) % 20 + 1
+    die = rand(2) % damage_die + 1
+    if not attack_hits(d20, attack_bonus, armor_class(target_armor)):
+        return 0
+    return damage_roll(die, damage_bonus)
+
+
+def expected_damage(
+    attack_bonus: int, damage_die: int, damage_bonus: int, target_armor: int
+) -> float:
+    """Analytic mean damage per attack (used by scenario balancing)."""
+    ac = armor_class(target_armor)
+    hits = sum(
+        1 for roll in range(1, 21) if attack_hits(roll, attack_bonus, ac)
+    )
+    p_hit = hits / 20.0
+    mean_damage = (damage_die + 1) / 2.0 + damage_bonus
+    return p_hit * max(mean_damage, 1.0)
+
+
+@dataclass(frozen=True)
+class CombatProfile:
+    """The d20 numbers of one unit type."""
+
+    health: int
+    armor: int
+    attack_bonus: int
+    damage_die: int
+    damage_bonus: int
+    attack_range: int
+    sight: int
+    speed: int
+    morale: int
+
+    @property
+    def ac(self) -> int:
+        return armor_class(self.armor)

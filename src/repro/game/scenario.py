@@ -1,0 +1,150 @@
+"""Workload generation: armies, formations, and densities (Section 6).
+
+The paper's experiments vary the number of units while "varying the size
+of the playing grid to maintain a constant density of 1 percent of game
+grid squares occupied", and separately vary density at fixed unit count.
+These helpers generate those workloads deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Mapping, Sequence
+
+from ..env.schema import Schema, battle_schema
+from ..env.table import EnvironmentTable
+from .units import ARCHER, HEALER, KNIGHT, unit_row
+
+#: The paper's default army mix is unspecified; this split gives every
+#: index family (divisible / extreme / nearest / AoE) steady work.
+DEFAULT_COMPOSITION: dict[str, float] = {KNIGHT: 0.5, ARCHER: 0.3, HEALER: 0.2}
+
+
+def grid_size_for_density(n_units: int, density: float) -> int:
+    """Grid side length so that *n_units* occupy *density* of the cells."""
+    if not 0 < density <= 1:
+        raise ValueError("density must be in (0, 1]")
+    return max(int(math.ceil(math.sqrt(n_units / density))), 2)
+
+
+def composition_counts(
+    n_units: int, composition: Mapping[str, float] | None = None
+) -> dict[str, int]:
+    """Integer unit counts per type honouring the requested fractions."""
+    composition = dict(composition or DEFAULT_COMPOSITION)
+    total_fraction = sum(composition.values())
+    counts = {
+        unittype: int(n_units * fraction / total_fraction)
+        for unittype, fraction in composition.items()
+    }
+    # distribute rounding remainder to the largest fractions first
+    remainder = n_units - sum(counts.values())
+    for unittype, _ in sorted(
+        composition.items(), key=lambda kv: -kv[1]
+    )[: max(remainder, 0)]:
+        counts[unittype] += 1
+    return counts
+
+
+def _random_cells(
+    count: int, grid_size: int, rng: random.Random, taken: set[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    cells = []
+    attempts = 0
+    while len(cells) < count:
+        cell = (rng.randrange(grid_size), rng.randrange(grid_size))
+        if cell not in taken:
+            taken.add(cell)
+            cells.append(cell)
+        attempts += 1
+        if attempts > 100 * count + 1000:
+            raise RuntimeError(
+                f"could not place {count} units on a {grid_size}² grid"
+            )
+    return cells
+
+
+def uniform_battle(
+    n_units: int,
+    *,
+    density: float = 0.01,
+    composition: Mapping[str, float] | None = None,
+    seed: int = 0,
+    schema: Schema | None = None,
+) -> tuple[EnvironmentTable, int]:
+    """Units of both players scattered uniformly (the paper's setup).
+
+    Returns ``(environment, grid_size)``.  Players alternate within each
+    unit type so both armies share the same composition.
+    """
+    schema = schema or battle_schema()
+    grid_size = grid_size_for_density(n_units, density)
+    rng = random.Random(seed)
+    counts = composition_counts(n_units, composition)
+
+    env = EnvironmentTable(schema)
+    taken: set[tuple[int, int]] = set()
+    key = 0
+    for unittype in sorted(counts):
+        cells = _random_cells(counts[unittype], grid_size, rng, taken)
+        for x, y in cells:
+            env.rows.append(
+                unit_row(key, key % 2, unittype, x, y, schema=schema)
+            )
+            key += 1
+    return env, grid_size
+
+
+def two_army_battle(
+    n_units: int,
+    *,
+    density: float = 0.01,
+    composition: Mapping[str, float] | None = None,
+    seed: int = 0,
+    schema: Schema | None = None,
+) -> tuple[EnvironmentTable, int]:
+    """Two clustered armies facing each other across the grid.
+
+    The clustered formation is the adversarial case for enumeration
+    indexes ("if the units are all clustered together, as is often the
+    case in combat, then the value k can be significantly large") and is
+    what the ablation benches use to separate Figure-8 aggregation from
+    plain range-tree enumeration.
+    """
+    schema = schema or battle_schema()
+    grid_size = grid_size_for_density(n_units, density)
+    rng = random.Random(seed)
+    counts = composition_counts(n_units, composition)
+
+    # each army occupies a band one-eighth of the grid wide
+    band = max(grid_size // 8, 1)
+    env = EnvironmentTable(schema)
+    taken: set[tuple[int, int]] = set()
+    key = 0
+    for player, x_base in ((0, 0), (1, grid_size - band)):
+        for unittype in sorted(counts):
+            need = counts[unittype] // 2 + (
+                counts[unittype] % 2 if player == 0 else 0
+            )
+            placed = 0
+            attempts = 0
+            while placed < need:
+                x = x_base + rng.randrange(band)
+                y = rng.randrange(grid_size)
+                if (x, y) not in taken:
+                    taken.add((x, y))
+                    env.rows.append(
+                        unit_row(key, player, unittype, x, y, schema=schema)
+                    )
+                    key += 1
+                    placed += 1
+                attempts += 1
+                if attempts > 1000 * need + 1000:
+                    raise RuntimeError("army band too dense to place units")
+    return env, grid_size
+
+
+def density_sweep(base_units: int = 500) -> Sequence[float]:
+    """The density values of the paper's second experiment (0.5%–8%)."""
+    return (0.005, 0.01, 0.02, 0.04, 0.08)

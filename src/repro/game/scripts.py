@@ -1,0 +1,309 @@
+"""SGL scripts and SQL built-ins for the battle simulation (Section 3.2).
+
+Every behaviour the paper describes is here, written in the language the
+paper proposes:
+
+* units rout when visible enemies exceed their morale (Figure 3);
+* archers keep the knights between themselves and the enemy by lining
+  up the three centroids ("the scripts compute the centroids of the
+  enemy, the knights, and the archers, and move the archers so that
+  these three points are in a line with the knights in the center");
+* knights close ranks using the standard deviation of troop positions
+  and the count of troops within two standard deviations;
+* healers chase and heal the weakest wounded friendly in range with a
+  nonstackable aura;
+* attacks resolve with d20 mechanics, encoded arithmetically in the
+  restricted SQL fragment (``step`` replaces CASE).
+
+Per tick a fighting unit evaluates on the order of ten aggregate
+queries spanning all three index families: divisible (counts, centroids,
+spread), extreme (weakest-in-range), and nearest-neighbour.
+"""
+
+from __future__ import annotations
+
+from ..sgl.ast import Script
+from ..sgl.builtins import FunctionRegistry
+from ..sgl.parser import parse_script
+from .units import ARCHER, GAME_CONSTANTS, HEALER, KNIGHT
+
+#: SQL definitions of every built-in aggregate function (Eq. 5 shapes).
+AGGREGATE_SQL = """
+function CountEnemiesInRange(u, radius) returns
+SELECT Count(*)
+FROM E e
+WHERE e.posx >= u.posx - radius AND e.posx <= u.posx + radius
+  AND e.posy >= u.posy - radius AND e.posy <= u.posy + radius
+  AND e.player <> u.player;
+
+function CentroidOfEnemies(u, radius) returns
+SELECT Avg(posx) AS x, Avg(posy) AS y
+FROM E e
+WHERE e.posx >= u.posx - radius AND e.posx <= u.posx + radius
+  AND e.posy >= u.posy - radius AND e.posy <= u.posy + radius
+  AND e.player <> u.player;
+
+function CentroidOfFriendlyKnights(u) returns
+SELECT Avg(posx) AS x, Avg(posy) AS y
+FROM E e
+WHERE e.player = u.player AND e.unittype = 'knight';
+
+function CountFriendlyKnights(u) returns
+SELECT Count(*)
+FROM E e
+WHERE e.player = u.player AND e.unittype = 'knight';
+
+function CentroidOfFriendlies(u) returns
+SELECT Avg(posx) AS x, Avg(posy) AS y
+FROM E e
+WHERE e.player = u.player;
+
+function CentroidOfFriendlyType(u) returns
+SELECT Avg(posx) AS x, Avg(posy) AS y
+FROM E e
+WHERE e.player = u.player AND e.unittype = u.unittype;
+
+function CountFriendlyType(u) returns
+SELECT Count(*)
+FROM E e
+WHERE e.player = u.player AND e.unittype = u.unittype;
+
+function FriendlySpread(u) returns
+SELECT Stddev(posx) AS sx, Stddev(posy) AS sy
+FROM E e
+WHERE e.player = u.player AND e.unittype = u.unittype;
+
+function CountFriendliesNearPoint(u, cx, cy, radius) returns
+SELECT Count(*)
+FROM E e
+WHERE e.posx >= cx - radius AND e.posx <= cx + radius
+  AND e.posy >= cy - radius AND e.posy <= cy + radius
+  AND e.player = u.player AND e.unittype = u.unittype;
+
+function CountWoundedFriendliesInRange(u, radius) returns
+SELECT Count(*)
+FROM E e
+WHERE e.posx >= u.posx - radius AND e.posx <= u.posx + radius
+  AND e.posy >= u.posy - radius AND e.posy <= u.posy + radius
+  AND e.player = u.player
+  AND e.health < e.max_health;
+
+function WeakestEnemyInRange(u, radius) returns
+SELECT ArgMin(health)
+FROM E e
+WHERE e.posx >= u.posx - radius AND e.posx <= u.posx + radius
+  AND e.posy >= u.posy - radius AND e.posy <= u.posy + radius
+  AND e.player <> u.player;
+
+function WeakestWoundedFriendlyInRange(u, radius) returns
+SELECT ArgMin(health)
+FROM E e
+WHERE e.posx >= u.posx - radius AND e.posx <= u.posx + radius
+  AND e.posy >= u.posy - radius AND e.posy <= u.posy + radius
+  AND e.player = u.player
+  AND e.health < e.max_health;
+
+function NearestEnemy(u) returns
+SELECT ArgMin((e.posx - u.posx) * (e.posx - u.posx)
+            + (e.posy - u.posy) * (e.posy - u.posy))
+FROM E e
+WHERE e.player <> u.player;
+"""
+
+#: SQL definitions of every built-in action function (Eq. 4 shapes).
+#:
+#: Note on Figure 5: the paper's FireAt sets ``weaponused`` on the
+#: *target* row, which would start the victim's reload timer.  We split
+#: the bookkeeping into UseWeapon (marks the shooter) and keep FireAt's
+#: effect purely on the target, preserving the cooldown semantics of
+#: Example 4.1.
+ACTION_SQL = """
+function MoveInDirection(u, vx, vy) returns
+SELECT e.key,
+       vx AS movevect_x,
+       vy AS movevect_y
+FROM E e
+WHERE e.key = u.key;
+
+function FireAt(u, target_key) returns
+SELECT e.key,
+       e.damage + step(Random(e, 1) % 20 + 1 + u.attack_bonus
+                       - (_BASE_AC + e.armor))
+                * (Random(e, 2) % u.damage_die + 1 + u.damage_bonus)
+           AS damage
+FROM E e
+WHERE e.key = target_key;
+
+function UseWeapon(u) returns
+SELECT e.key,
+       nonsql_max(e.weaponused, 1) AS weaponused
+FROM E e
+WHERE e.key = u.key;
+
+function Heal(u) returns
+SELECT e.key,
+       nonsql_max(e.inaura, _HEAL_AURA) AS inaura
+FROM E e
+WHERE u.player = e.player
+  AND abs(u.posx - e.posx) <= _HEALER_RANGE
+  AND abs(u.posy - e.posy) <= _HEALER_RANGE;
+"""
+
+#: Figure 3, transcribed.  Not used by the battle units (their scripts
+#: below are richer) but kept as the paper's canonical example for tests
+#: and the optimizer walkthrough of Example 5.1.
+FIGURE_3_SCRIPT = """
+main(u) {
+  (let c = CountEnemiesInRange(u, u.range))
+  (let away_vector = (u.posx, u.posy) - CentroidOfEnemies(u, u.range)) {
+    if (c > u.morale) then
+      perform MoveInDirection(u, away_vector.x, away_vector.y);
+    else if (c > 0 and u.cooldown = 0) then
+      (let target_key = NearestEnemy(u).key) {
+        perform FireAt(u, target_key);
+        perform UseWeapon(u);
+      }
+  }
+}
+"""
+
+KNIGHT_SCRIPT = """
+main(u) {
+  (let c = CountEnemiesInRange(u, u.sight)) {
+    if (c > u.morale) then
+      perform Flee(u);
+    else if (c > 0) then
+      perform Engage(u);
+  }
+}
+
+Flee(u) {
+  (let ec = CentroidOfEnemies(u, u.sight)) {
+    perform MoveInDirection(u, u.posx - ec.x, u.posy - ec.y);
+  }
+}
+
+Engage(u) {
+  (let n = CountEnemiesInRange(u, u.range)) {
+    if (n > 0 and u.cooldown = 0) then
+      (let target = WeakestEnemyInRange(u, u.range)) {
+        perform FireAt(u, target.key);
+        perform UseWeapon(u);
+      };
+    if (n = 0) then
+      perform Advance(u);
+  }
+}
+
+Advance(u) {
+  (let s = FriendlySpread(u))
+  (let fc = CentroidOfFriendlyType(u))
+  (let spread = s.sx + s.sy)
+  (let near = CountFriendliesNearPoint(u, fc.x, fc.y, spread + spread))
+  (let total = CountFriendlyType(u)) {
+    if (spread > _CLOSE_RANKS_SPREAD and near * 2 < total) then
+      perform MoveInDirection(u, fc.x - u.posx, fc.y - u.posy);
+    else
+      (let t = NearestEnemy(u)) {
+        perform MoveInDirection(u, t.posx - u.posx, t.posy - u.posy);
+      }
+  }
+}
+"""
+
+ARCHER_SCRIPT = """
+main(u) {
+  (let c = CountEnemiesInRange(u, u.sight)) {
+    if (c > u.morale) then
+      perform Flee(u);
+    else if (c > 0) then
+      perform Skirmish(u);
+  }
+}
+
+Flee(u) {
+  (let ec = CentroidOfEnemies(u, u.sight)) {
+    perform MoveInDirection(u, u.posx - ec.x, u.posy - ec.y);
+  }
+}
+
+Skirmish(u) {
+  (let n = CountEnemiesInRange(u, u.range)) {
+    if (n > 0 and u.cooldown = 0) then
+      (let target = WeakestEnemyInRange(u, u.range)) {
+        perform FireAt(u, target.key);
+        perform UseWeapon(u);
+      };
+    if (n = 0) then
+      perform TakeCover(u);
+  }
+}
+
+TakeCover(u) {
+  (let nk = CountFriendlyKnights(u))
+  (let ec = CentroidOfEnemies(u, u.sight)) {
+    if (nk > 0) then
+      (let kc = CentroidOfFriendlyKnights(u)) {
+        perform MoveInDirection(u, kc.x + (kc.x - ec.x) - u.posx,
+                                   kc.y + (kc.y - ec.y) - u.posy);
+      };
+    if (nk = 0) then
+      perform MoveInDirection(u, u.posx - ec.x, u.posy - ec.y);
+  }
+}
+"""
+
+HEALER_SCRIPT = """
+main(u) {
+  (let danger = CountEnemiesInRange(u, u.range))
+  (let wounded = CountWoundedFriendliesInRange(u, _HEALER_RANGE)) {
+    if (danger > u.morale) then
+      perform Flee(u);
+    else {
+      if (wounded > 0 and u.cooldown = 0) then {
+        perform Heal(u);
+        perform UseWeapon(u);
+      };
+      if (wounded = 0) then
+        perform FollowWounded(u);
+    }
+  }
+}
+
+Flee(u) {
+  (let ec = CentroidOfEnemies(u, u.sight)) {
+    perform MoveInDirection(u, u.posx - ec.x, u.posy - ec.y);
+  }
+}
+
+FollowWounded(u) {
+  (let m = CountWoundedFriendliesInRange(u, u.sight)) {
+    if (m > 0) then
+      (let w = WeakestWoundedFriendlyInRange(u, u.sight)) {
+        perform MoveInDirection(u, w.posx - u.posx, w.posy - u.posy);
+      };
+    if (m = 0) then
+      (let fc = CentroidOfFriendlies(u)) {
+        perform MoveInDirection(u, fc.x - u.posx, fc.y - u.posy);
+      }
+  }
+}
+"""
+
+
+def build_registry() -> FunctionRegistry:
+    """The battle simulation's function registry: constants + built-ins."""
+    registry = FunctionRegistry()
+    registry.register_constants(GAME_CONSTANTS)
+    registry.register_sql(AGGREGATE_SQL)
+    registry.register_sql(ACTION_SQL)
+    return registry
+
+
+def build_scripts() -> dict[str, Script]:
+    """Compiled scripts keyed by unit type."""
+    return {
+        KNIGHT: parse_script(KNIGHT_SCRIPT),
+        ARCHER: parse_script(ARCHER_SCRIPT),
+        HEALER: parse_script(HEALER_SCRIPT),
+    }

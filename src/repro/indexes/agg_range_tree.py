@@ -1,0 +1,262 @@
+"""Divisible-aggregate layered range trees (Figure 8).
+
+For a divisible aggregate (Definition 5.1) the last layer of the range
+tree stores *prefix aggregates* instead of elements: leaf position i of
+a canonical node's y-array holds ``agg(y_1 ... y_i)``.  The aggregate of
+any orthogonal range is then recovered from a constant number of prefix
+look-ups per canonical node -- O(log n) per query with fractional
+cascading, independent of how many units fall inside the range.  This is
+the index that defeats the ``+k`` enumeration cost when armies are
+clustered ("if k is close to n, then the join will still be O(n²)").
+
+We store prefix :class:`~repro.indexes.divisible.Moments` -- (count, Σv,
+Σv²) -- per measure, so a single tree answers count, sum, avg, var and
+stddev for every measure simultaneously ("we can combine these
+aggregates into one index structure by replacing the list of aggregates
+with a list of aggregate tuples").
+
+:class:`PrefixAggregate1D` is the degenerate one-dimensional case used
+when only one continuous attribute is constrained.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Sequence
+
+from .divisible import Moments
+
+
+class _ANode:
+    __slots__ = (
+        "min_x", "max_x", "left", "right", "ys",
+        "pcount", "psum", "psumsq", "bridge_left", "bridge_right",
+    )
+
+    def __init__(self):
+        self.min_x = 0.0
+        self.max_x = 0.0
+        self.left: "_ANode | None" = None
+        self.right: "_ANode | None" = None
+        self.ys: list[float] = []
+        # prefix arrays: pcount[i] = #elements among first i; psum[m][i],
+        # psumsq[m][i] = Σ / Σ² of measure m among first i elements.
+        self.pcount: list[int] = []
+        self.psum: list[list[float]] = []
+        self.psumsq: list[list[float]] = []
+        self.bridge_left: list[int] | None = None
+        self.bridge_right: list[int] | None = None
+
+
+class AggRangeTree2D:
+    """2-d range tree answering divisible aggregates in O(log n).
+
+    Parameters
+    ----------
+    points:
+        ``(x, y)`` pairs.
+    values:
+        Per point, a sequence of measure values (all measures share the
+        tree).  Pass ``[()] * n`` (or ``values=None``) for pure counting.
+    cascade:
+        Enable fractional cascading (bridge pointers); disable for the
+        A-FC ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[tuple[float, float]],
+        values: Sequence[Sequence[float]] | None = None,
+        *,
+        cascade: bool = True,
+    ):
+        n = len(points)
+        if values is None:
+            values = [()] * n
+        if len(values) != n:
+            raise ValueError("points and values must have equal length")
+        self.cascade = cascade
+        self.width = len(values[0]) if n else 0
+        self._size = n
+        entries = sorted(
+            (
+                (float(x), float(y), tuple(float(v) for v in vals))
+                for (x, y), vals in zip(points, values)
+            ),
+            key=lambda e: e[0],
+        )
+        self._root = self._build(entries) if entries else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- construction -----------------------------------------------------------
+
+    def _build(self, entries: list) -> _ANode:
+        node, _ = self._build_rec(entries)
+        return node
+
+    def _build_rec(self, entries: list) -> tuple[_ANode, list]:
+        """Build a subtree; also return its y-sorted (y, values) entries
+        so parents merge in O(len) instead of re-sorting."""
+        node = _ANode()
+        node.min_x = entries[0][0]
+        node.max_x = entries[-1][0]
+        if len(entries) == 1:
+            merged = [(entries[0][1], entries[0][2])]
+        else:
+            mid = len(entries) // 2
+            node.left, left_merged = self._build_rec(entries[:mid])
+            node.right, right_merged = self._build_rec(entries[mid:])
+            merged = self._merge(left_merged, right_merged)
+        self._fill_prefixes(node, merged)
+        if self.cascade and node.left is not None:
+            node.bridge_left = self._bridges(node.ys, node.left.ys)
+            node.bridge_right = self._bridges(node.ys, node.right.ys)
+        return node, merged
+
+    @staticmethod
+    def _merge(left: list, right: list) -> list:
+        out = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i][0] <= right[j][0]:
+                out.append(left[i]); i += 1
+            else:
+                out.append(right[j]); j += 1
+        out.extend(left[i:])
+        out.extend(right[j:])
+        return out
+
+    def _fill_prefixes(self, node: _ANode, merged: list) -> None:
+        width = self.width
+        node.ys = [y for y, _ in merged]
+        n = len(merged)
+        node.pcount = [0] * (n + 1)
+        node.psum = [[0.0] * (n + 1) for _ in range(width)]
+        node.psumsq = [[0.0] * (n + 1) for _ in range(width)]
+        for i, (_, vals) in enumerate(merged):
+            node.pcount[i + 1] = node.pcount[i] + 1
+            for m in range(width):
+                v = vals[m]
+                node.psum[m][i + 1] = node.psum[m][i] + v
+                node.psumsq[m][i + 1] = node.psumsq[m][i] + v * v
+
+    @staticmethod
+    def _bridges(parent_ys: list[float], child_ys: list[float]) -> list[int]:
+        bridges = [0] * (len(parent_ys) + 1)
+        j = 0
+        for i, y in enumerate(parent_ys):
+            while j < len(child_ys) and child_ys[j] < y:
+                j += 1
+            bridges[i] = j
+        bridges[len(parent_ys)] = len(child_ys)
+        return bridges
+
+    # -- queries ------------------------------------------------------------------
+
+    def query(self, xlo, xhi, ylo, yhi) -> tuple[Moments, ...]:
+        """Per-measure :class:`Moments` of the closed query rectangle.
+
+        With zero measures the single returned :class:`Moments` carries
+        the count only.
+        """
+        counts = 0
+        sums = [0.0] * self.width
+        sumsqs = [0.0] * self.width
+
+        def report(node: _ANode, plo: int, phi: int) -> None:
+            nonlocal counts
+            counts += node.pcount[phi] - node.pcount[plo]
+            for m in range(self.width):
+                sums[m] += node.psum[m][phi] - node.psum[m][plo]
+                sumsqs[m] += node.psumsq[m][phi] - node.psumsq[m][plo]
+
+        self._visit(xlo, xhi, ylo, yhi, report)
+        if self.width == 0:
+            return (Moments(counts, 0.0, 0.0),)
+        return tuple(
+            Moments(counts, sums[m], sumsqs[m]) for m in range(self.width)
+        )
+
+    def count(self, xlo, xhi, ylo, yhi) -> int:
+        return self.query(xlo, xhi, ylo, yhi)[0].count
+
+    def _visit(self, xlo, xhi, ylo, yhi, report) -> None:
+        root = self._root
+        if root is None or xlo > xhi or ylo > yhi:
+            return
+        plo = bisect_left(root.ys, ylo)
+        phi = bisect_right(root.ys, yhi)
+
+        def descend(node: _ANode, plo: int, phi: int) -> None:
+            if node.max_x < xlo or node.min_x > xhi or plo >= phi:
+                return
+            if xlo <= node.min_x and node.max_x <= xhi:
+                report(node, plo, phi)
+                return
+            if node.left is None:
+                return
+            if self.cascade:
+                descend(node.left, node.bridge_left[plo], node.bridge_left[phi])
+                descend(node.right, node.bridge_right[plo], node.bridge_right[phi])
+            else:
+                descend(node.left,
+                        bisect_left(node.left.ys, ylo),
+                        bisect_right(node.left.ys, yhi))
+                descend(node.right,
+                        bisect_left(node.right.ys, ylo),
+                        bisect_right(node.right.ys, yhi))
+
+        descend(root, plo, phi)
+
+
+class PrefixAggregate1D:
+    """Sorted array + prefix moments: divisible aggregates over one axis.
+
+    The degenerate layered range tree when only a single continuous
+    attribute is constrained (e.g. "count units with health below h").
+    Build O(n log n), query O(log n).
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        values: Sequence[Sequence[float]] | None = None,
+    ):
+        n = len(keys)
+        if values is None:
+            values = [()] * n
+        if len(values) != n:
+            raise ValueError("keys and values must have equal length")
+        order = sorted(range(n), key=lambda i: keys[i])
+        self.keys = [float(keys[i]) for i in order]
+        self.width = len(values[0]) if n else 0
+        self._psum = [[0.0] * (n + 1) for _ in range(self.width)]
+        self._psumsq = [[0.0] * (n + 1) for _ in range(self.width)]
+        for pos, i in enumerate(order):
+            for m in range(self.width):
+                v = float(values[i][m])
+                self._psum[m][pos + 1] = self._psum[m][pos] + v
+                self._psumsq[m][pos + 1] = self._psumsq[m][pos] + v * v
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def query(self, lo: float, hi: float) -> tuple[Moments, ...]:
+        start = bisect_left(self.keys, lo)
+        stop = bisect_right(self.keys, hi)
+        count = max(stop - start, 0)
+        if self.width == 0:
+            return (Moments(count, 0.0, 0.0),)
+        return tuple(
+            Moments(
+                count,
+                self._psum[m][stop] - self._psum[m][start],
+                self._psumsq[m][stop] - self._psumsq[m][start],
+            )
+            for m in range(self.width)
+        )
+
+    def count(self, lo: float, hi: float) -> int:
+        return self.query(lo, hi)[0].count

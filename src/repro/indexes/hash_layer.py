@@ -1,0 +1,62 @@
+"""Categorical hash layers for degenerate range components.
+
+Section 5.3.1: "In determining the dimension d, we can ignore all
+degenerate (i.e. categorical) range components, as those levels of the
+tree can be replaced by a hashtable with O(1) look-up."  The paper's
+engine does exactly this -- "since the game has only two players and
+three unit types, we push selection on player and/or unit type to the
+top, giving us a total of 6 range trees".
+
+:class:`PartitionedIndex` groups rows by a tuple of categorical
+attributes and builds one sub-index per group through a caller-supplied
+factory.  Probing with a category tuple returns the sub-index (or
+``None`` for an empty group).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, Iterable, Mapping, TypeVar
+
+SubIndex = TypeVar("SubIndex")
+
+
+class PartitionedIndex(Generic[SubIndex]):
+    """Hash layer over categorical attributes with per-group sub-indexes.
+
+    Sub-indexes are built eagerly (one pass over the rows, one factory
+    call per distinct category) because the engine rebuilds indexes every
+    tick and probes most groups anyway.
+    """
+
+    def __init__(
+        self,
+        rows: Iterable[Mapping[str, object]],
+        attrs: tuple[str, ...],
+        factory: Callable[[list[Mapping[str, object]]], SubIndex],
+    ):
+        self.attrs = attrs
+        groups: dict[tuple[Hashable, ...], list[Mapping[str, object]]] = {}
+        if attrs:
+            for row in rows:
+                key = tuple(row[a] for a in attrs)
+                groups.setdefault(key, []).append(row)
+        else:
+            groups[()] = list(rows)
+        self._indexes: dict[tuple[Hashable, ...], SubIndex] = {
+            key: factory(group_rows) for key, group_rows in groups.items()
+        }
+        self._sizes = {key: len(rows) for key, rows in groups.items()}
+
+    def probe(self, key: tuple[Hashable, ...]) -> SubIndex | None:
+        """The sub-index for *key*, or ``None`` when no rows matched."""
+        return self._indexes.get(key)
+
+    def group_size(self, key: tuple[Hashable, ...]) -> int:
+        return self._sizes.get(key, 0)
+
+    @property
+    def groups(self) -> dict[tuple[Hashable, ...], SubIndex]:
+        return self._indexes
+
+    def __len__(self) -> int:
+        return sum(self._sizes.values())

@@ -1,0 +1,295 @@
+"""Layered range trees for orthogonal range queries (Section 5.3.1).
+
+Two implementations:
+
+* :class:`RangeTree` -- a general d-dimensional layered range tree.
+  Each level is a balanced tree over one attribute whose canonical nodes
+  hold a (d-1)-dimensional subtree; the last level is a sorted array.
+  Build O(n log^{d-1} n), query O(log^d n + k).
+
+* :class:`LayeredRangeTree2D` -- the 2-d special case with optional
+  **fractional cascading** [Chazelle & Guibas]: every canonical x-node
+  stores its y-sorted array together with *bridge* pointers into its
+  children's arrays, so the y-range is located with a single binary
+  search at the root and O(1) work per visited node afterwards.  This is
+  the paper's O(log^{d-1} n + k) query structure, and the ablation bench
+  A-FC compares cascading on/off.
+
+Both support enumeration and counting.  The divisible-aggregate variant
+of Figure 8 (aggregates at the leaves instead of items) lives in
+:mod:`repro.indexes.agg_range_tree` and shares the 2-d skeleton.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Sequence
+
+
+# ---------------------------------------------------------------------------
+# General d-dimensional range tree
+# ---------------------------------------------------------------------------
+
+
+class _DNode:
+    __slots__ = ("min_key", "max_key", "left", "right", "sub", "leaf_entries")
+
+    def __init__(self, min_key, max_key):
+        self.min_key = min_key
+        self.max_key = max_key
+        self.left: "_DNode | None" = None
+        self.right: "_DNode | None" = None
+        self.sub: object = None  # next-level tree or sorted array
+        self.leaf_entries: list | None = None
+
+
+class RangeTree:
+    """d-dimensional layered range tree over ``(coords, item)`` entries.
+
+    *coords* are tuples of length d; queries give per-dimension closed
+    intervals ``(lo, hi)`` (use ±inf for open sides).
+    """
+
+    def __init__(
+        self,
+        coords: Sequence[Sequence[float]],
+        items: Sequence[object] | None = None,
+    ):
+        if items is None:
+            items = list(range(len(coords)))
+        if len(items) != len(coords):
+            raise ValueError("coords and items must have equal length")
+        self._size = len(coords)
+        entries = [(tuple(c), item) for c, item in zip(coords, items)]
+        self.dims = len(entries[0][0]) if entries else 0
+        self._root = self._build(entries, dim=0) if entries else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, entries: list, dim: int):
+        last = dim == self.dims - 1
+        entries = sorted(entries, key=lambda e: e[0][dim])
+        if last:
+            return entries  # sorted array level
+        return self._build_node(entries, dim)
+
+    def _build_node(self, entries: list, dim: int) -> _DNode:
+        node = _DNode(entries[0][0][dim], entries[-1][0][dim])
+        node.sub = self._build(entries, dim + 1)
+        if len(entries) > 1:
+            mid = len(entries) // 2
+            node.left = self._build_node(entries[:mid], dim)
+            node.right = self._build_node(entries[mid:], dim)
+        else:
+            node.leaf_entries = entries
+        return node
+
+    # -- queries --------------------------------------------------------------
+
+    def enumerate(self, box: Sequence[tuple[float, float]]) -> list[object]:
+        """All items whose coords fall in the closed *box*."""
+        if self._root is None:
+            return []
+        if len(box) != self.dims:
+            raise ValueError(f"box must have {self.dims} intervals")
+        out: list[object] = []
+        self._query_level(self._root, box, 0, out.append)
+        return out
+
+    def count(self, box: Sequence[tuple[float, float]]) -> int:
+        return len(self.enumerate(box))
+
+    def _query_level(self, level, box, dim: int, emit) -> None:
+        """Query one layer: a sorted array (last dim) or a tree of nodes."""
+        if dim == self.dims - 1:
+            lo, hi = box[dim]
+            start = bisect_left(level, lo, key=lambda e: e[0][dim])
+            stop = bisect_right(level, hi, key=lambda e: e[0][dim])
+            for _, item in level[start:stop]:
+                emit(item)
+            return
+        self._query_node(level, box, dim, emit)
+
+    def _query_node(
+        self,
+        node: _DNode,
+        box: Sequence[tuple[float, float]],
+        dim: int,
+        emit: Callable[[object], None],
+    ) -> None:
+        lo, hi = box[dim]
+        if node.max_key < lo or node.min_key > hi:
+            return
+        if lo <= node.min_key and node.max_key <= hi:
+            # canonical node: restrict the remaining dims in its subtree
+            self._query_level(node.sub, box, dim + 1, emit)
+            return
+        if node.left is None:
+            coords, item = node.leaf_entries[0]
+            if all(
+                box[d][0] <= coords[d] <= box[d][1]
+                for d in range(dim, self.dims)
+            ):
+                emit(item)
+            return
+        self._query_node(node.left, box, dim, emit)
+        self._query_node(node.right, box, dim, emit)
+
+
+# ---------------------------------------------------------------------------
+# 2-d layered range tree with fractional cascading
+# ---------------------------------------------------------------------------
+
+
+class _XNode:
+    __slots__ = ("min_x", "max_x", "left", "right", "ys", "items",
+                 "bridge_left", "bridge_right")
+
+    def __init__(self):
+        self.min_x = 0.0
+        self.max_x = 0.0
+        self.left: "_XNode | None" = None
+        self.right: "_XNode | None" = None
+        self.ys: list[float] = []
+        self.items: list[object] = []
+        self.bridge_left: list[int] | None = None
+        self.bridge_right: list[int] | None = None
+
+
+class LayeredRangeTree2D:
+    """2-d layered range tree; enumeration and counting.
+
+    With ``cascade=True`` (default) child positions of the y-range are
+    derived from bridge pointers instead of fresh binary searches,
+    giving O(log n + k) enumeration and O(log n) counting.  With
+    ``cascade=False`` every visited canonical node performs its own two
+    binary searches -- the O(log² n) variant the paper improves upon.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[tuple[float, float]],
+        items: Sequence[object] | None = None,
+        *,
+        cascade: bool = True,
+    ):
+        if items is None:
+            items = list(range(len(points)))
+        if len(items) != len(points):
+            raise ValueError("points and items must have equal length")
+        self.cascade = cascade
+        self._size = len(points)
+        entries = sorted(
+            ((float(x), float(y), item) for (x, y), item in zip(points, items)),
+            key=lambda e: e[0],
+        )
+        self._root = self._build(entries) if entries else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, entries: list) -> _XNode:
+        node = _XNode()
+        node.min_x = entries[0][0]
+        node.max_x = entries[-1][0]
+        if len(entries) > 1:
+            mid = len(entries) // 2
+            node.left = self._build(entries[:mid])
+            node.right = self._build(entries[mid:])
+            node.ys, node.items = self._merge(node.left, node.right)
+            if self.cascade:
+                node.bridge_left = self._bridges(node.ys, node.left.ys)
+                node.bridge_right = self._bridges(node.ys, node.right.ys)
+        else:
+            node.ys = [entries[0][1]]
+            node.items = [entries[0][2]]
+        return node
+
+    @staticmethod
+    def _merge(left: _XNode, right: _XNode) -> tuple[list[float], list[object]]:
+        ys: list[float] = []
+        items: list[object] = []
+        i = j = 0
+        ly, li, ry, ri = left.ys, left.items, right.ys, right.items
+        while i < len(ly) and j < len(ry):
+            if ly[i] <= ry[j]:
+                ys.append(ly[i]); items.append(li[i]); i += 1
+            else:
+                ys.append(ry[j]); items.append(ri[j]); j += 1
+        while i < len(ly):
+            ys.append(ly[i]); items.append(li[i]); i += 1
+        while j < len(ry):
+            ys.append(ry[j]); items.append(ri[j]); j += 1
+        return ys, items
+
+    @staticmethod
+    def _bridges(parent_ys: list[float], child_ys: list[float]) -> list[int]:
+        """bridge[i] = first index j in child with child_ys[j] >= parent_ys[i].
+
+        One extra slot maps the one-past-the-end position.
+        """
+        bridges = [0] * (len(parent_ys) + 1)
+        j = 0
+        for i, y in enumerate(parent_ys):
+            while j < len(child_ys) and child_ys[j] < y:
+                j += 1
+            bridges[i] = j
+        bridges[len(parent_ys)] = len(child_ys)
+        return bridges
+
+    # -- queries --------------------------------------------------------------
+
+    def enumerate(self, xlo, xhi, ylo, yhi) -> list[object]:
+        out: list[object] = []
+        self._visit(xlo, xhi, ylo, yhi,
+                    lambda node, plo, phi: out.extend(node.items[plo:phi]))
+        return out
+
+    def count(self, xlo, xhi, ylo, yhi) -> int:
+        total = 0
+
+        def add(node: _XNode, plo: int, phi: int) -> None:
+            nonlocal total
+            total += phi - plo
+
+        self._visit(xlo, xhi, ylo, yhi, add)
+        return total
+
+    def _visit(
+        self,
+        xlo: float,
+        xhi: float,
+        ylo: float,
+        yhi: float,
+        report: Callable[[_XNode, int, int], None],
+    ) -> None:
+        """Invoke *report(node, plo, phi)* on every canonical node, where
+        ``[plo, phi)`` is the y-range slice inside the node's y-array."""
+        root = self._root
+        if root is None or xlo > xhi or ylo > yhi:
+            return
+        plo = bisect_left(root.ys, ylo)
+        phi = bisect_right(root.ys, yhi)
+
+        def descend(node: _XNode, plo: int, phi: int) -> None:
+            if node.max_x < xlo or node.min_x > xhi:
+                return
+            if xlo <= node.min_x and node.max_x <= xhi:
+                if phi > plo:
+                    report(node, plo, phi)
+                return
+            if node.left is None:
+                return  # leaf outside the x-range edges
+            if self.cascade:
+                descend(node.left, node.bridge_left[plo], node.bridge_left[phi])
+                descend(node.right, node.bridge_right[plo], node.bridge_right[phi])
+            else:
+                descend(node.left,
+                        bisect_left(node.left.ys, ylo),
+                        bisect_right(node.left.ys, yhi))
+                descend(node.right,
+                        bisect_left(node.right.ys, ylo),
+                        bisect_right(node.right.ys, yhi))
+
+        descend(root, plo, phi)

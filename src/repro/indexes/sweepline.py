@@ -1,0 +1,166 @@
+"""Sweep-line computation of min/max range aggregates (Figure 9).
+
+Min and max are not divisible (Definition 5.1), so the prefix trick of
+Figure 8 does not apply.  The paper's alternative exploits a common
+game-design fact: all units of a type share the same query-range extent
+("units of the same type all have the same weapon and visibility
+range").  When the y-extent ``ry`` is constant across probes, one sweep
+over y answers *every* probe:
+
+* build a binary tree ordered on x over the source units, leaves
+  initialised to the neutral value (±inf);
+* sweep y; a source enters the window when the sweep reaches
+  ``source.y - ry`` and leaves after ``source.y + ry``;
+* when the sweep reaches a probe's own y ("the center of the range"),
+  query the tree over the probe's x-interval in O(log n);
+* percolate every leaf change up the tree.
+
+Total O((n + m) log n) for n sources and m probes, with *no* dependence
+on how many sources fall in each range -- the quantity that makes naive
+min-in-range O(n²) on clustered armies.
+
+:func:`sweep_minmax` returns, for every probe, the min (or max) source
+value in the box ``[px ± rx, py ± ry]``; :func:`sweep_arg_minmax` also
+returns *which* source attains it ("find the weakest unit in range").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Sequence
+
+from .interval_agg import IntervalAggregateIndex
+
+_INF = float("inf")
+
+
+def _run_sweep(
+    source_xy: Sequence[tuple[float, float]],
+    leaf_values: Sequence[object],
+    probe_xy: Sequence[tuple[float, float]],
+    rx: float,
+    ry: float,
+    kind: str,
+    neutral: object,
+) -> list[object]:
+    """Shared sweep skeleton; *leaf_values* are what leaves hold while a
+    source is inside the window (value floats, or (value, seq, id) tuples
+    for arg variants)."""
+    n = len(source_xy)
+    m = len(probe_xy)
+    results: list[object] = [neutral] * m
+    if m == 0:
+        return results
+
+    # x-order tree: leaf slot = rank of the source in x order
+    xs_sorted = sorted((x, i) for i, (x, _) in enumerate(source_xy))
+    slot_of_source = [0] * n
+    xs = [0.0] * n
+    for slot, (x, i) in enumerate(xs_sorted):
+        slot_of_source[i] = slot
+        xs[slot] = x
+    tree = IntervalAggregateIndex(max(n, 1), kind=kind, neutral=neutral)
+
+    # event queues sorted by y
+    enters = sorted(range(n), key=lambda i: source_xy[i][1] - ry)
+    exits = sorted(range(n), key=lambda i: source_xy[i][1] + ry)
+    probes = sorted(range(m), key=lambda j: probe_xy[j][1])
+
+    ei = xi = 0
+    for j in probes:
+        py = probe_xy[j][1]
+        # admit sources whose window [sy - ry, sy + ry] now contains py
+        while ei < n and source_xy[enters[ei]][1] - ry <= py:
+            i = enters[ei]
+            tree.set(slot_of_source[i], leaf_values[i])
+            ei += 1
+        # retire sources whose window ended strictly before py
+        while xi < n and source_xy[exits[xi]][1] + ry < py:
+            tree.clear(slot_of_source[exits[xi]])
+            xi += 1
+        px = probe_xy[j][0]
+        lo = bisect_left(xs, px - rx)
+        hi = bisect_right(xs, px + rx) - 1
+        results[j] = tree.query(lo, hi)
+    return results
+
+
+def sweep_minmax(
+    source_xy: Sequence[tuple[float, float]],
+    source_values: Sequence[float],
+    probe_xy: Sequence[tuple[float, float]],
+    rx: float,
+    ry: float,
+    kind: str = "min",
+) -> list[float | None]:
+    """Per probe, the min/max source value within ``[±rx, ±ry]``.
+
+    Probes with no source in range yield ``None`` (matching the naive
+    SQL semantics of min/max over an empty selection).
+    """
+    if kind not in ("min", "max"):
+        raise ValueError("kind must be 'min' or 'max'")
+    neutral = _INF if kind == "min" else -_INF
+    raw = _run_sweep(source_xy, list(source_values), probe_xy, rx, ry, kind, neutral)
+    return [None if v == neutral else v for v in raw]
+
+
+def sweep_arg_minmax(
+    source_xy: Sequence[tuple[float, float]],
+    source_values: Sequence[float],
+    source_ids: Sequence[object],
+    probe_xy: Sequence[tuple[float, float]],
+    rx: float,
+    ry: float,
+    kind: str = "min",
+) -> list[tuple[float, object] | None]:
+    """Per probe, ``(value, id)`` of the extreme source in range.
+
+    *source_ids* must be mutually comparable: value ties break toward
+    the smallest id, matching the argmin/argmax tie-break of the naive
+    evaluator (see ``repro.sgl.sqlspec``).  Used for "find the weakest
+    unit in range" where the acting unit needs the target's identity,
+    not just its health value.
+    """
+    if kind not in ("min", "max"):
+        raise ValueError("kind must be 'min' or 'max'")
+    n = len(source_xy)
+    # Run a MIN sweep in both directions (negating values for max) so the
+    # tuple order (value', id) gives the smallest-id tie-break either way.
+    sign = 1.0 if kind == "min" else -1.0
+    leaves: list[object] = [
+        (sign * float(source_values[i]), source_ids[i]) for i in range(n)
+    ]
+    neutral: object = (_INF, _MaxSentinel())
+    raw = _run_sweep(source_xy, leaves, probe_xy, rx, ry, "min", neutral)
+    out: list[tuple[float, object] | None] = []
+    for v in raw:
+        if v is None or isinstance(v[1], _MaxSentinel):
+            out.append(None)
+        else:
+            out.append((sign * v[0], v[1]))
+    return out
+
+
+class _MaxSentinel:
+    """Compares greater than every id; marks empty sweep results."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __gt__(self, other: object) -> bool:
+        return not isinstance(other, _MaxSentinel)
+
+    def __le__(self, other: object) -> bool:
+        return isinstance(other, _MaxSentinel)
+
+    def __ge__(self, other: object) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _MaxSentinel)
+
+    def __hash__(self) -> int:
+        return 0

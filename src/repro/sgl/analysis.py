@@ -1,0 +1,219 @@
+"""Static analysis of SGL scripts.
+
+Validates scripts against the environment schema and function registry
+before any execution, and produces the inventories the optimizer needs:
+
+* every aggregate call site (function + argument terms) -- this is the
+  input to index selection (Section 5.3: "we can afford to construct an
+  index specifically tailored to each query plan");
+* the set of schema attributes each script reads;
+* the set of effect attributes each script can write (via the action
+  functions it performs).
+
+Scope checking follows the language rules: ``let`` binds one name in one
+following action; defined functions see only their parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from . import ast
+from .errors import SglNameError, SglTypeError
+from .evalterm import MATH_BUILTINS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..env.schema import Schema
+    from .builtins import FunctionRegistry
+
+
+@dataclass(frozen=True)
+class AggregateCallSite:
+    """One syntactic call of an aggregate function inside a script."""
+
+    function: str
+    args: tuple[ast.Term, ...]
+    enclosing: str  # name of the enclosing FunctionDef
+
+
+@dataclass
+class ScriptAnalysis:
+    """Everything the engine and optimizer need to know statically."""
+
+    aggregate_calls: list[AggregateCallSite] = field(default_factory=list)
+    attributes_read: set[str] = field(default_factory=set)
+    effects_written: set[str] = field(default_factory=set)
+    actions_performed: set[str] = field(default_factory=set)
+    uses_random: bool = False
+
+    @property
+    def aggregate_functions(self) -> set[str]:
+        return {c.function for c in self.aggregate_calls}
+
+
+def analyze_script(
+    script: ast.Script,
+    registry: "FunctionRegistry",
+    schema: "Schema | None" = None,
+) -> ScriptAnalysis:
+    """Validate *script* and return its :class:`ScriptAnalysis`.
+
+    Raises :class:`SglNameError` / :class:`SglTypeError` on unknown
+    functions, wrong arities, unbound names, or (when *schema* is given)
+    references to attributes absent from the environment schema.
+    """
+    analysis = ScriptAnalysis()
+    analyzer = _Analyzer(script, registry, schema, analysis)
+    for fn in script.functions.values():
+        analyzer.check_function(fn)
+    return analysis
+
+
+class _Analyzer:
+    def __init__(
+        self,
+        script: ast.Script,
+        registry: "FunctionRegistry",
+        schema: "Schema | None",
+        analysis: ScriptAnalysis,
+    ):
+        self.script = script
+        self.registry = registry
+        self.schema = schema
+        self.analysis = analysis
+
+    # -- actions ----------------------------------------------------------
+
+    def check_function(self, fn: ast.FunctionDef) -> None:
+        if not fn.params:
+            raise SglTypeError(f"function {fn.name!r} needs a unit parameter")
+        scope = set(fn.params)
+        self.check_action(fn.body, scope, fn.name)
+
+    def check_action(self, node: ast.Action, scope: set[str], where: str) -> None:
+        if isinstance(node, ast.Skip):
+            return
+        if isinstance(node, ast.Let):
+            self.check_term(node.term, scope, where)
+            self.check_action(node.body, scope | {node.name}, where)
+            return
+        if isinstance(node, ast.Seq):
+            self.check_action(node.first, scope, where)
+            self.check_action(node.second, scope, where)
+            return
+        if isinstance(node, ast.If):
+            self.check_cond(node.cond, scope, where)
+            self.check_action(node.then_branch, scope, where)
+            if node.else_branch is not None:
+                self.check_action(node.else_branch, scope, where)
+            return
+        if isinstance(node, ast.Perform):
+            self.check_perform(node, scope, where)
+            return
+        raise SglTypeError(f"unknown action node {node!r}")
+
+    def check_perform(self, node: ast.Perform, scope: set[str], where: str) -> None:
+        for arg in node.args:
+            self.check_term(arg, scope, where)
+
+        defined = self.script.functions.get(node.name)
+        if defined is not None:
+            if len(node.args) != len(defined.params):
+                raise SglTypeError(
+                    f"{where}: {node.name} expects {len(defined.params)} "
+                    f"args, got {len(node.args)}"
+                )
+            self.analysis.actions_performed.add(node.name)
+            return
+
+        builtin = self.registry.actions.get(node.name)
+        if builtin is None:
+            raise SglNameError(
+                f"{where}: unknown action function {node.name!r}"
+            )
+        if len(node.args) != len(builtin.params):
+            raise SglTypeError(
+                f"{where}: {node.name} expects {len(builtin.params)} args, "
+                f"got {len(node.args)}"
+            )
+        self.analysis.actions_performed.add(node.name)
+        if builtin.spec is not None:
+            self.analysis.effects_written.update(builtin.spec.effects.keys())
+
+    # -- conditions and terms ----------------------------------------------
+
+    def check_cond(self, node: ast.Cond, scope: set[str], where: str) -> None:
+        if isinstance(node, ast.BoolLit):
+            return
+        if isinstance(node, ast.Compare):
+            self.check_term(node.left, scope, where)
+            self.check_term(node.right, scope, where)
+            return
+        if isinstance(node, (ast.And, ast.Or)):
+            self.check_cond(node.left, scope, where)
+            self.check_cond(node.right, scope, where)
+            return
+        if isinstance(node, ast.Not):
+            self.check_cond(node.operand, scope, where)
+            return
+        raise SglTypeError(f"unknown condition node {node!r}")
+
+    def check_term(self, node: ast.Term, scope: set[str], where: str) -> None:
+        if isinstance(node, (ast.Num, ast.Str)):
+            return
+        if isinstance(node, ast.Name):
+            if node.ident in scope or node.ident in self.registry.constants:
+                return
+            raise SglNameError(f"{where}: unbound name {node.ident!r}")
+        if isinstance(node, ast.FieldAccess):
+            self.check_term(node.base, scope, where)
+            # ``u.attr`` where u is the unit parameter: check against schema
+            if (
+                self.schema is not None
+                and isinstance(node.base, ast.Name)
+                and node.base.ident in scope
+            ):
+                self.analysis.attributes_read.add(node.attr)
+            return
+        if isinstance(node, ast.BinOp):
+            self.check_term(node.left, scope, where)
+            self.check_term(node.right, scope, where)
+            return
+        if isinstance(node, ast.Neg):
+            self.check_term(node.operand, scope, where)
+            return
+        if isinstance(node, ast.VecLit):
+            for item in node.items:
+                self.check_term(item, scope, where)
+            return
+        if isinstance(node, ast.Call):
+            self.check_call(node, scope, where)
+            return
+        raise SglTypeError(f"unknown term node {node!r}")
+
+    def check_call(self, node: ast.Call, scope: set[str], where: str) -> None:
+        for arg in node.args:
+            self.check_term(arg, scope, where)
+
+        if node.name == "Random":
+            if len(node.args) not in (1, 2):
+                raise SglTypeError(f"{where}: Random takes one or two args")
+            self.analysis.uses_random = True
+            return
+        if node.name in MATH_BUILTINS:
+            return
+
+        aggregate = self.registry.aggregates.get(node.name)
+        if aggregate is None:
+            raise SglNameError(f"{where}: unknown function {node.name!r}")
+        if len(node.args) != len(aggregate.params):
+            raise SglTypeError(
+                f"{where}: {node.name} expects {len(aggregate.params)} args, "
+                f"got {len(node.args)}"
+            )
+        self.analysis.aggregate_calls.append(
+            AggregateCallSite(
+                function=node.name, args=node.args, enclosing=where
+            )
+        )

@@ -1,0 +1,160 @@
+"""Registry of built-in aggregate and action functions.
+
+Section 4.3 distinguishes *defined* action functions (written in SGL and
+invoked by ``perform G``) from *built-in* functions provided by the game
+engine.  Built-ins come in two flavours:
+
+* **aggregate functions** ``a(u, E, r)`` used inside terms;
+* **action functions** ``h(u, E, r)`` used in ``perform`` statements.
+
+The paper assumes (Section 4.3, footnote 3) that all built-ins are
+expressible in the restricted SQL fragment -- so the primary registration
+path here is SQL text, parsed by :mod:`repro.sgl.sqlspec`.  A native
+escape hatch exists for functions outside the fragment (e.g. exposing an
+engine pathfinder to scripts, the fourth iteration pattern of
+Section 3.1), but native functions are opaque to the optimizer and always
+run naively.
+
+The registry also stores named game constants (``_ARROW_HIT_DAMAGE`` and
+friends from Figure 5), which resolve during term evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from .errors import SglNameError, SglTypeError
+from .sqlspec import (
+    ParsedSqlFunction,
+    SqlActionSpec,
+    SqlAggregateSpec,
+    parse_sql_functions,
+)
+
+#: Signature of a native aggregate: ``(args, env_rows, ctx) -> value``.
+NativeAggregateFn = Callable[..., object]
+#: Signature of a native action: ``(args, ctx) -> list[effect rows]``.
+NativeActionFn = Callable[..., list]
+
+
+@dataclass(frozen=True)
+class AggregateFunction:
+    """A named aggregate built-in with bound parameter names."""
+
+    name: str
+    params: tuple[str, ...]
+    spec: SqlAggregateSpec | None = None
+    native: NativeAggregateFn | None = None
+
+    def __post_init__(self) -> None:
+        if (self.spec is None) == (self.native is None):
+            raise SglTypeError(
+                f"{self.name}: exactly one of spec/native must be given"
+            )
+
+
+@dataclass(frozen=True)
+class ActionFunction:
+    """A named action built-in with bound parameter names."""
+
+    name: str
+    params: tuple[str, ...]
+    spec: SqlActionSpec | None = None
+    native: NativeActionFn | None = None
+
+    def __post_init__(self) -> None:
+        if (self.spec is None) == (self.native is None):
+            raise SglTypeError(
+                f"{self.name}: exactly one of spec/native must be given"
+            )
+
+
+@dataclass
+class FunctionRegistry:
+    """All built-ins and constants visible to a set of SGL scripts."""
+
+    aggregates: dict[str, AggregateFunction] = field(default_factory=dict)
+    actions: dict[str, ActionFunction] = field(default_factory=dict)
+    constants: dict[str, object] = field(default_factory=dict)
+
+    # -- registration ---------------------------------------------------------
+
+    def register_constant(self, name: str, value: object) -> None:
+        self.constants[name] = value
+
+    def register_constants(self, constants: Mapping[str, object]) -> None:
+        self.constants.update(constants)
+
+    def register_sql(self, source: str) -> list[str]:
+        """Register every ``function ... returns SELECT ...`` in *source*.
+
+        The select shape decides whether each becomes an aggregate or an
+        action (aggregate select-lists contain SQL aggregate calls).
+        Returns the registered names in order.
+        """
+        names = []
+        for parsed in parse_sql_functions(source):
+            self._register_parsed(parsed)
+            names.append(parsed.name)
+        return names
+
+    def _register_parsed(self, parsed: ParsedSqlFunction) -> None:
+        self._check_fresh(parsed.name)
+        if isinstance(parsed.spec, SqlAggregateSpec):
+            self.aggregates[parsed.name] = AggregateFunction(
+                name=parsed.name, params=parsed.params, spec=parsed.spec
+            )
+        else:
+            self.actions[parsed.name] = ActionFunction(
+                name=parsed.name, params=parsed.params, spec=parsed.spec
+            )
+
+    def register_aggregate(
+        self, name: str, params: tuple[str, ...], spec: SqlAggregateSpec
+    ) -> None:
+        self._check_fresh(name)
+        self.aggregates[name] = AggregateFunction(name, params, spec=spec)
+
+    def register_action(
+        self, name: str, params: tuple[str, ...], spec: SqlActionSpec
+    ) -> None:
+        self._check_fresh(name)
+        self.actions[name] = ActionFunction(name, params, spec=spec)
+
+    def register_native_aggregate(
+        self, name: str, params: tuple[str, ...], fn: NativeAggregateFn
+    ) -> None:
+        self._check_fresh(name)
+        self.aggregates[name] = AggregateFunction(name, params, native=fn)
+
+    def register_native_action(
+        self, name: str, params: tuple[str, ...], fn: NativeActionFn
+    ) -> None:
+        self._check_fresh(name)
+        self.actions[name] = ActionFunction(name, params, native=fn)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def aggregate(self, name: str) -> AggregateFunction:
+        try:
+            return self.aggregates[name]
+        except KeyError:
+            raise SglNameError(f"unknown aggregate function {name!r}") from None
+
+    def action(self, name: str) -> ActionFunction:
+        try:
+            return self.actions[name]
+        except KeyError:
+            raise SglNameError(f"unknown action function {name!r}") from None
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.aggregates or name in self.actions:
+            raise SglTypeError(f"function {name!r} already registered")
+
+    def copy(self) -> "FunctionRegistry":
+        return FunctionRegistry(
+            aggregates=dict(self.aggregates),
+            actions=dict(self.actions),
+            constants=dict(self.constants),
+        )

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the SGL compiler and runtime."""
+
+from __future__ import annotations
+
+
+class SglError(Exception):
+    """Base class for every SGL-related error."""
+
+
+class SglSyntaxError(SglError):
+    """Lexical or grammatical error in an SGL script.
+
+    Carries the 1-based source position to make script debugging by game
+    designers practical (the paper's target audience is non-programmers).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class SglNameError(SglError):
+    """Reference to an unknown function, attribute, or let-binding."""
+
+
+class SglTypeError(SglError):
+    """A term or condition was applied to values of the wrong type."""
+
+
+class SglRuntimeError(SglError):
+    """Error raised while evaluating a script (e.g. field access on the
+    result of an aggregate over an empty selection)."""

@@ -1,0 +1,250 @@
+"""Normal form for SGL scripts (Section 5.1).
+
+The algebra translation assumes scripts are in a normal form where
+*aggregate functions occur only in let-statements* and nowhere else.  The
+paper notes this loses no generality::
+
+    if agg(u.health) = 3 then f
+      ==  (let v = agg(u.health)) if u.v = 3 then f
+
+This module hoists every aggregate call found in a condition, in a
+``perform`` argument, or nested inside a larger let-term into its own
+fresh ``let`` binding directly above the consuming action.  Pure terms
+are left untouched.  The transformation also:
+
+* expands ``if c then a else b`` into ``if c then a; if not c then b``
+  (the paper treats ``else`` as this shortcut in Section 4.3), which
+  makes the translation to selections direct;
+* guarantees fresh binding names never collide with script names.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from . import ast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .builtins import FunctionRegistry
+
+
+class _FreshNames:
+    """Generates binding names guaranteed unused by the script."""
+
+    def __init__(self, used: set[str]):
+        self._used = set(used)
+        self._counter = 0
+
+    def fresh(self, hint: str = "agg") -> str:
+        while True:
+            self._counter += 1
+            name = f"__{hint}_{self._counter}"
+            if name not in self._used:
+                self._used.add(name)
+                return name
+
+
+def _collect_names(script: ast.Script) -> set[str]:
+    names: set[str] = set()
+    for fn in script.functions.values():
+        names.update(fn.params)
+        stack: list[ast.Action] = [fn.body]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Let):
+                names.add(node.name)
+                stack.append(node.body)
+            elif isinstance(node, ast.Seq):
+                stack.extend((node.first, node.second))
+            elif isinstance(node, ast.If):
+                stack.append(node.then_branch)
+                if node.else_branch is not None:
+                    stack.append(node.else_branch)
+    return names
+
+
+def normalize_script(
+    script: ast.Script, registry: "FunctionRegistry"
+) -> ast.Script:
+    """Return an equivalent script in aggregate-normal form."""
+    fresh = _FreshNames(_collect_names(script))
+    is_aggregate = lambda name: name in registry.aggregates  # noqa: E731
+    functions = {
+        name: ast.FunctionDef(
+            name=fn.name,
+            params=fn.params,
+            body=_normalize_action(fn.body, is_aggregate, fresh),
+        )
+        for name, fn in script.functions.items()
+    }
+    return ast.Script(functions=functions, entry=script.entry)
+
+
+def _normalize_action(
+    node: ast.Action, is_aggregate: Callable[[str], bool], fresh: _FreshNames
+) -> ast.Action:
+    if isinstance(node, ast.Skip):
+        return node
+
+    if isinstance(node, ast.Let):
+        body = _normalize_action(node.body, is_aggregate, fresh)
+        # The let RHS may keep ONE top-level aggregate call; nested ones
+        # (inside arithmetic) are hoisted above it.
+        term, bindings = _hoist(node.term, is_aggregate, fresh, keep_top=True)
+        result: ast.Action = ast.Let(node.name, term, body)
+        return _wrap(bindings, result)
+
+    if isinstance(node, ast.Seq):
+        return ast.Seq(
+            _normalize_action(node.first, is_aggregate, fresh),
+            _normalize_action(node.second, is_aggregate, fresh),
+        )
+
+    if isinstance(node, ast.If):
+        cond, bindings = _hoist_cond(node.cond, is_aggregate, fresh)
+        then_branch = _normalize_action(node.then_branch, is_aggregate, fresh)
+        if node.else_branch is None:
+            return _wrap(bindings, ast.If(cond, then_branch))
+        else_branch = _normalize_action(node.else_branch, is_aggregate, fresh)
+        expanded = ast.Seq(
+            ast.If(cond, then_branch),
+            ast.If(ast.Not(cond), else_branch),
+        )
+        return _wrap(bindings, expanded)
+
+    if isinstance(node, ast.Perform):
+        all_bindings: list[tuple[str, ast.Term]] = []
+        args = []
+        for arg in node.args:
+            term, bindings = _hoist(arg, is_aggregate, fresh, keep_top=False)
+            all_bindings.extend(bindings)
+            args.append(term)
+        return _wrap(all_bindings, ast.Perform(node.name, tuple(args)))
+
+    raise TypeError(f"unknown action node {node!r}")
+
+
+def _wrap(
+    bindings: list[tuple[str, ast.Term]], action: ast.Action
+) -> ast.Action:
+    """Wrap *action* in let-bindings, innermost binding last."""
+    for name, term in reversed(bindings):
+        action = ast.Let(name, term, action)
+    return action
+
+
+def _hoist(
+    term: ast.Term,
+    is_aggregate: Callable[[str], bool],
+    fresh: _FreshNames,
+    keep_top: bool,
+) -> tuple[ast.Term, list[tuple[str, ast.Term]]]:
+    """Replace nested aggregate calls in *term* with fresh names.
+
+    Returns the rewritten term and the hoisted ``(name, aggregate-call)``
+    bindings in evaluation order.  With *keep_top* a top-level aggregate
+    call stays in place (it is already in let position).
+    """
+    bindings: list[tuple[str, ast.Term]] = []
+
+    def rewrite(node: ast.Term, top: bool) -> ast.Term:
+        if isinstance(node, (ast.Num, ast.Str, ast.Name)):
+            return node
+        if isinstance(node, ast.FieldAccess):
+            return ast.FieldAccess(rewrite(node.base, False), node.attr)
+        if isinstance(node, ast.BinOp):
+            return ast.BinOp(
+                node.op, rewrite(node.left, False), rewrite(node.right, False)
+            )
+        if isinstance(node, ast.Neg):
+            return ast.Neg(rewrite(node.operand, False))
+        if isinstance(node, ast.VecLit):
+            return ast.VecLit(tuple(rewrite(i, False) for i in node.items))
+        if isinstance(node, ast.Call):
+            new_args = tuple(rewrite(a, False) for a in node.args)
+            call = ast.Call(node.name, new_args)
+            if is_aggregate(node.name) and not (top and keep_top):
+                name = fresh.fresh(node.name.lower()[:12])
+                bindings.append((name, call))
+                return ast.Name(name)
+            return call
+        raise TypeError(f"unknown term node {node!r}")
+
+    return rewrite(term, True), bindings
+
+
+def _hoist_cond(
+    cond: ast.Cond, is_aggregate: Callable[[str], bool], fresh: _FreshNames
+) -> tuple[ast.Cond, list[tuple[str, ast.Term]]]:
+    bindings: list[tuple[str, ast.Term]] = []
+
+    def rewrite(node: ast.Cond) -> ast.Cond:
+        if isinstance(node, ast.BoolLit):
+            return node
+        if isinstance(node, ast.Compare):
+            left, lb = _hoist(node.left, is_aggregate, fresh, keep_top=False)
+            right, rb = _hoist(node.right, is_aggregate, fresh, keep_top=False)
+            bindings.extend(lb)
+            bindings.extend(rb)
+            return ast.Compare(node.op, left, right)
+        if isinstance(node, ast.And):
+            return ast.And(rewrite(node.left), rewrite(node.right))
+        if isinstance(node, ast.Or):
+            return ast.Or(rewrite(node.left), rewrite(node.right))
+        if isinstance(node, ast.Not):
+            return ast.Not(rewrite(node.operand))
+        raise TypeError(f"unknown condition node {node!r}")
+
+    return rewrite(cond), bindings
+
+
+def is_normal_form(
+    script: ast.Script, registry: "FunctionRegistry"
+) -> bool:
+    """Check the normal-form invariant: aggregates only in let position."""
+
+    def term_clean(term: ast.Term, top: bool = False) -> bool:
+        if isinstance(term, (ast.Num, ast.Str, ast.Name)):
+            return True
+        if isinstance(term, ast.FieldAccess):
+            return term_clean(term.base)
+        if isinstance(term, ast.BinOp):
+            return term_clean(term.left) and term_clean(term.right)
+        if isinstance(term, ast.Neg):
+            return term_clean(term.operand)
+        if isinstance(term, ast.VecLit):
+            return all(term_clean(i) for i in term.items)
+        if isinstance(term, ast.Call):
+            if term.name in registry.aggregates and not top:
+                return False
+            return all(term_clean(a) for a in term.args)
+        return False
+
+    def cond_clean(cond: ast.Cond) -> bool:
+        if isinstance(cond, ast.BoolLit):
+            return True
+        if isinstance(cond, ast.Compare):
+            return term_clean(cond.left) and term_clean(cond.right)
+        if isinstance(cond, (ast.And, ast.Or)):
+            return cond_clean(cond.left) and cond_clean(cond.right)
+        if isinstance(cond, ast.Not):
+            return cond_clean(cond.operand)
+        return False
+
+    def action_clean(node: ast.Action) -> bool:
+        if isinstance(node, ast.Skip):
+            return True
+        if isinstance(node, ast.Let):
+            return term_clean(node.term, top=True) and action_clean(node.body)
+        if isinstance(node, ast.Seq):
+            return action_clean(node.first) and action_clean(node.second)
+        if isinstance(node, ast.If):
+            ok = cond_clean(node.cond) and action_clean(node.then_branch)
+            if node.else_branch is not None:
+                ok = ok and action_clean(node.else_branch)
+            return ok
+        if isinstance(node, ast.Perform):
+            return all(term_clean(a) for a in node.args)
+        return False
+
+    return all(action_clean(fn.body) for fn in script.functions.values())

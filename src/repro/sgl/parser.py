@@ -1,0 +1,361 @@
+"""Recursive-descent parser for SGL scripts (grammar of Section 4.1).
+
+The surface syntax follows the paper's Figure 3::
+
+    main(u) {
+      (let c = CountEnemiesInRange(u, u.range))
+      (let away_vector = (u.posx, u.posy) - CentroidOfEnemyUnits(u, u.range)) {
+        if (c > u.morale) then
+          perform MoveInDirection(u, away_vector);
+        else if (c > 0 and u.cooldown = 0) then
+          (let target_key = GetNearestEnemy(u).key) {
+            perform FireAt(u, target_key);
+          }
+      }
+    }
+
+Notes on the concrete grammar:
+
+* A script is one or more function definitions; the optional keyword
+  ``function`` may precede each definition.  The entry point is ``main``.
+* ``{ ... }`` blocks sequence the actions they contain (``;`` is both a
+  separator and an optional terminator, as in the paper's listing where a
+  ``;`` precedes ``else``).
+* ``(let x = t)`` binds ``x`` in exactly one following action, which may
+  itself be a block or another ``let``.
+* ``=`` is comparison (SQL style), not assignment; ``<>`` and ``!=`` both
+  denote inequality.
+* ``(t1, t2)`` with a comma is a vector literal; ``(t)`` is grouping.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import SglSyntaxError
+from .tokens import Token, TokenKind, tokenize
+
+_COMPARISON_OPS = {"=", "==", "<", "<=", ">", ">=", "<>", "!="}
+_CANONICAL_OP = {"==": "=", "!=": "<>"}
+
+
+def parse_script(source: str, entry: str = "main") -> ast.Script:
+    """Parse a full SGL script (one or more function definitions)."""
+    parser = _Parser(tokenize(source))
+    functions: dict[str, ast.FunctionDef] = {}
+    while not parser.at(TokenKind.EOF):
+        fn = parser.function_def()
+        if fn.name in functions:
+            raise SglSyntaxError(f"duplicate function {fn.name!r}")
+        functions[fn.name] = fn
+    if not functions:
+        raise SglSyntaxError("empty script")
+    if entry not in functions:
+        raise SglSyntaxError(f"script defines no {entry!r} function")
+    return ast.Script(functions=functions, entry=entry)
+
+
+def parse_action(source: str) -> ast.Action:
+    """Parse a bare action (handy for tests and the REPL-style examples)."""
+    parser = _Parser(tokenize(source))
+    action = parser.action_sequence(stop_kinds=(TokenKind.EOF,))
+    parser.expect(TokenKind.EOF)
+    return action
+
+
+def parse_term(source: str) -> ast.Term:
+    """Parse a bare term."""
+    parser = _Parser(tokenize(source))
+    term = parser.term()
+    parser.expect(TokenKind.EOF)
+    return term
+
+
+def parse_condition(source: str) -> ast.Cond:
+    """Parse a bare condition."""
+    parser = _Parser(tokenize(source))
+    cond = parser.condition()
+    parser.expect(TokenKind.EOF)
+    return cond
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def at(self, kind: TokenKind, text: str | None = None) -> bool:
+        tok = self.current
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def at_keyword(self, word: str) -> bool:
+        return self.current.is_keyword(word)
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.EOF:
+            self._pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        if not self.at(kind, text):
+            tok = self.current
+            want = text or kind.value
+            raise SglSyntaxError(
+                f"expected {want!r}, found {tok.text or tok.kind.value!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            tok = self.current
+            raise SglSyntaxError(
+                f"expected {word!r}, found {tok.text or tok.kind.value!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.advance()
+
+    def _peek(self, offset: int) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    # -- top level ----------------------------------------------------------------
+
+    def function_def(self) -> ast.FunctionDef:
+        if self.at_keyword("function"):
+            self.advance()
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.LPAREN)
+        params: list[str] = []
+        if not self.at(TokenKind.RPAREN):
+            params.append(self.expect(TokenKind.NAME).text)
+            while self.at(TokenKind.COMMA):
+                self.advance()
+                params.append(self.expect(TokenKind.NAME).text)
+        self.expect(TokenKind.RPAREN)
+        body = self.block()
+        return ast.FunctionDef(name=name, params=tuple(params), body=body)
+
+    # -- actions ------------------------------------------------------------------
+
+    def block(self) -> ast.Action:
+        self.expect(TokenKind.LBRACE)
+        action = self.action_sequence(stop_kinds=(TokenKind.RBRACE,))
+        self.expect(TokenKind.RBRACE)
+        return action
+
+    def action_sequence(self, stop_kinds: tuple[TokenKind, ...]) -> ast.Action:
+        """Zero or more actions, folded left-to-right into ``Seq``."""
+        actions: list[ast.Action] = []
+        while True:
+            while self.at(TokenKind.SEMI):
+                self.advance()
+            if self.current.kind in stop_kinds:
+                break
+            actions.append(self.action())
+        if not actions:
+            return ast.Skip()
+        result = actions[0]
+        for nxt in actions[1:]:
+            result = ast.Seq(result, nxt)
+        return result
+
+    def action(self) -> ast.Action:
+        if self.at(TokenKind.LPAREN) and self._peek(1).is_keyword("let"):
+            return self.let_action()
+        if self.at_keyword("if"):
+            return self.if_action()
+        if self.at_keyword("perform"):
+            return self.perform_action()
+        if self.at(TokenKind.LBRACE):
+            return self.block()
+        tok = self.current
+        raise SglSyntaxError(
+            f"expected an action, found {tok.text or tok.kind.value!r}",
+            tok.line,
+            tok.column,
+        )
+
+    def let_action(self) -> ast.Action:
+        self.expect(TokenKind.LPAREN)
+        self.expect_keyword("let")
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.OP, "=")
+        term = self.term()
+        self.expect(TokenKind.RPAREN)
+        body = self.action()
+        return ast.Let(name=name, term=term, body=body)
+
+    def if_action(self) -> ast.Action:
+        self.expect_keyword("if")
+        cond = self.condition()
+        self.expect_keyword("then")
+        then_branch = self.action()
+        # the paper's listing terminates the then-branch with ';' before 'else'
+        while self.at(TokenKind.SEMI):
+            self.advance()
+        else_branch: ast.Action | None = None
+        if self.at_keyword("else"):
+            self.advance()
+            else_branch = self.action()
+        return ast.If(cond=cond, then_branch=then_branch, else_branch=else_branch)
+
+    def perform_action(self) -> ast.Action:
+        self.expect_keyword("perform")
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.LPAREN)
+        args = self.term_list(TokenKind.RPAREN)
+        self.expect(TokenKind.RPAREN)
+        return ast.Perform(name=name, args=tuple(args))
+
+    # -- conditions ---------------------------------------------------------------
+
+    def condition(self) -> ast.Cond:
+        return self.or_cond()
+
+    def or_cond(self) -> ast.Cond:
+        left = self.and_cond()
+        while self.at_keyword("or"):
+            self.advance()
+            left = ast.Or(left, self.and_cond())
+        return left
+
+    def and_cond(self) -> ast.Cond:
+        left = self.not_cond()
+        while self.at_keyword("and"):
+            self.advance()
+            left = ast.And(left, self.not_cond())
+        return left
+
+    def not_cond(self) -> ast.Cond:
+        if self.at_keyword("not"):
+            self.advance()
+            return ast.Not(self.not_cond())
+        return self.atomic_cond()
+
+    def atomic_cond(self) -> ast.Cond:
+        if self.at_keyword("true"):
+            self.advance()
+            return ast.BoolLit(True)
+        if self.at_keyword("false"):
+            self.advance()
+            return ast.BoolLit(False)
+        # A parenthesised boolean condition, e.g. ``(c > 0 and d = 1)``.
+        # Distinguished from a parenthesised *term* by speculative parsing:
+        # try a full condition first and fall back to a comparison of terms.
+        if self.at(TokenKind.LPAREN):
+            save = self._pos
+            self.advance()
+            try:
+                inner = self.condition()
+                self.expect(TokenKind.RPAREN)
+            except SglSyntaxError:
+                self._pos = save
+            else:
+                return inner
+        left = self.term()
+        tok = self.current
+        if tok.kind is TokenKind.OP and tok.text in _COMPARISON_OPS:
+            op = self.advance().text
+            right = self.term()
+            return ast.Compare(_CANONICAL_OP.get(op, op), left, right)
+        raise SglSyntaxError(
+            f"expected a comparison operator, found {tok.text or tok.kind.value!r}",
+            tok.line,
+            tok.column,
+        )
+
+    # -- terms --------------------------------------------------------------------
+
+    def term(self) -> ast.Term:
+        return self.additive()
+
+    def additive(self) -> ast.Term:
+        left = self.multiplicative()
+        while self.at(TokenKind.OP, "+") or self.at(TokenKind.OP, "-"):
+            op = self.advance().text
+            left = ast.BinOp(op, left, self.multiplicative())
+        return left
+
+    def multiplicative(self) -> ast.Term:
+        left = self.unary()
+        while (
+            self.at(TokenKind.STAR)
+            or self.at(TokenKind.OP, "/")
+            or self.at(TokenKind.OP, "%")
+        ):
+            op = "*" if self.at(TokenKind.STAR) else self.current.text
+            self.advance()
+            left = ast.BinOp(op, left, self.unary())
+        return left
+
+    def unary(self) -> ast.Term:
+        if self.at(TokenKind.OP, "-"):
+            self.advance()
+            return ast.Neg(self.unary())
+        if self.at(TokenKind.OP, "+"):
+            self.advance()
+            return self.unary()
+        return self.postfix()
+
+    def postfix(self) -> ast.Term:
+        term = self.primary()
+        while self.at(TokenKind.DOT):
+            self.advance()
+            attr = self.expect(TokenKind.NAME).text
+            term = ast.FieldAccess(term, attr)
+        return term
+
+    def primary(self) -> ast.Term:
+        tok = self.current
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            value = float(tok.text)
+            if value.is_integer() and "." not in tok.text:
+                return ast.Num(int(value))
+            return ast.Num(value)
+        if tok.kind is TokenKind.STRING:
+            self.advance()
+            return ast.Str(tok.text)
+        if tok.kind is TokenKind.NAME:
+            self.advance()
+            if self.at(TokenKind.LPAREN):
+                self.advance()
+                args = self.term_list(TokenKind.RPAREN)
+                self.expect(TokenKind.RPAREN)
+                return ast.Call(tok.text, tuple(args))
+            return ast.Name(tok.text)
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            first = self.term()
+            if self.at(TokenKind.COMMA):
+                items = [first]
+                while self.at(TokenKind.COMMA):
+                    self.advance()
+                    items.append(self.term())
+                self.expect(TokenKind.RPAREN)
+                return ast.VecLit(tuple(items))
+            self.expect(TokenKind.RPAREN)
+            return first
+        raise SglSyntaxError(
+            f"expected a term, found {tok.text or tok.kind.value!r}",
+            tok.line,
+            tok.column,
+        )
+
+    def term_list(self, stop: TokenKind) -> list[ast.Term]:
+        args: list[ast.Term] = []
+        if self.at(stop):
+            return args
+        args.append(self.term())
+        while self.at(TokenKind.COMMA):
+            self.advance()
+            args.append(self.term())
+        return args

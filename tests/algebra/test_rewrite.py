@@ -1,0 +1,177 @@
+"""Plan rewrites: Figure 7 rules and the Example 5.1 walkthrough."""
+
+from repro.algebra.executor import execute_plan
+from repro.algebra.ops import AggExtend, Apply, Combine, plan_signature
+from repro.algebra.rewrite import (
+    elide_e,
+    optimize,
+    prune_unused_columns,
+    sharing_report,
+)
+from repro.algebra.translate import translate_script
+from repro.sgl.interp import NaiveAggregateEvaluator, reference_tick
+from repro.sgl.parser import parse_script
+from tests.conftest import make_env
+
+
+def agg_extends_on_path(plan):
+    """Per Combine input, the aggregate columns computed on that path."""
+    out = []
+    for child in plan.inputs:
+        names = set()
+        node = child
+        while True:
+            if isinstance(node, AggExtend):
+                names.add(node.name)
+            children = node.children()
+            if not children:
+                break
+            node = children[0]
+        out.append(names)
+    return out
+
+
+class TestPruning:
+    def test_figure6_a_to_b_drops_agg2_from_else_branch(self, registry):
+        # Figure 3: away_vector (agg2) is used only in the then-branch
+        from repro.game.scripts import FIGURE_3_SCRIPT
+
+        plan = translate_script(parse_script(FIGURE_3_SCRIPT), registry)
+        pruned = prune_unused_columns(plan)
+        raw_paths = agg_extends_on_path(plan)
+        pruned_paths = agg_extends_on_path(pruned)
+
+        def has_centroid(names):
+            return any(n.startswith("__centroidof") for n in names)
+
+        # before: the centroid aggregate (agg2) sits below every branch
+        assert all(has_centroid(names) for names in raw_paths)
+        # after: only the flee branch computes it
+        assert has_centroid(pruned_paths[0])
+        assert not any(has_centroid(names) for names in pruned_paths[1:])
+
+    def test_unused_let_disappears(self, registry):
+        plan = translate_script(
+            parse_script(
+                "main(u) { (let unused = CountEnemiesInRange(u, 5)) "
+                "perform UseWeapon(u) }"
+            ),
+            registry,
+        )
+        pruned = prune_unused_columns(plan)
+        assert agg_extends_on_path(pruned) == [set()]
+
+    def test_used_let_survives(self, registry):
+        plan = translate_script(
+            parse_script(
+                "main(u) { (let c = CountEnemiesInRange(u, 5)) "
+                "if c > 0 then perform UseWeapon(u) }"
+            ),
+            registry,
+        )
+        pruned = prune_unused_columns(plan)
+        assert agg_extends_on_path(pruned) == [{"c"}]
+
+    def test_pruning_preserves_semantics(self, registry, schema):
+        from repro.game.scripts import FIGURE_3_SCRIPT
+
+        env = make_env(schema, n=18, seed=2)
+        script = parse_script(FIGURE_3_SCRIPT)
+        rng = lambda row, i: (hash((row["key"], i)) & 0xFFFF)  # noqa: E731
+        plan = translate_script(script, registry)
+        pruned = prune_unused_columns(plan)
+        a = execute_plan(plan, env, registry, NaiveAggregateEvaluator(), rng)
+        b = execute_plan(pruned, env, registry, NaiveAggregateEvaluator(), rng)
+        assert a == b
+
+    def test_pruning_keeps_sharing(self, registry):
+        plan = translate_script(
+            parse_script(
+                "main(u) { (let c = CountEnemiesInRange(u, 5)) "
+                "if c > 0 then perform UseWeapon(u) "
+                "else perform MoveInDirection(u, 1, 0) }"
+            ),
+            registry,
+        )
+        pruned = prune_unused_columns(plan)
+        report = sharing_report(pruned)
+        assert report["shared_nodes"] >= 1
+
+
+class TestEElision:
+    def test_unconditional_self_move_elides_e(self, registry, schema):
+        # every unit moves: act⊕(R) ⊕ R = act⊕(R) (Example 5.1 step 2)
+        plan = translate_script(
+            parse_script("main(u) { perform MoveInDirection(u, 1, 0) }"),
+            registry,
+        )
+        elided = elide_e(plan, registry)
+        assert not elided.include_e
+
+    def test_elision_preserves_semantics(self, registry, schema):
+        env = make_env(schema, n=12)
+        script = parse_script("main(u) { perform MoveInDirection(u, 1, 0) }")
+        rng = lambda row, i: 0  # noqa: E731
+        reference = reference_tick(env, lambda u: script, registry, rng)
+        plan = translate_script(script, registry)
+        elided = elide_e(plan, registry)
+        got = execute_plan(
+            elided, env, registry, NaiveAggregateEvaluator(), rng
+        )
+        assert got == reference
+
+    def test_conditional_action_keeps_e(self, registry):
+        plan = translate_script(
+            parse_script(
+                "main(u) { if u.player = 0 then "
+                "perform MoveInDirection(u, 1, 0) }"
+            ),
+            registry,
+        )
+        assert elide_e(plan, registry).include_e
+
+    def test_non_self_action_keeps_e(self, registry):
+        plan = translate_script(
+            parse_script("main(u) { perform FireAt(u, 3) }"), registry
+        )
+        assert elide_e(plan, registry).include_e
+
+    def test_aoe_action_keeps_e(self, registry):
+        plan = translate_script(
+            parse_script("main(u) { perform Heal(u) }"), registry
+        )
+        assert elide_e(plan, registry).include_e
+
+
+class TestOptimizePipeline:
+    def test_optimize_composes_rules(self, registry):
+        plan = translate_script(
+            parse_script(
+                "main(u) { (let unused = CountEnemiesInRange(u, 5)) "
+                "perform MoveInDirection(u, 1, 0) }"
+            ),
+            registry,
+        )
+        optimized = optimize(plan, registry)
+        assert not optimized.include_e            # E elided
+        assert agg_extends_on_path(optimized) == [set()]  # column pruned
+
+    def test_signature_rendering(self, registry):
+        plan = translate_script(
+            parse_script("main(u) { perform UseWeapon(u) }"), registry
+        )
+        signature = plan_signature(plan)
+        assert "UseWeapon⊕" in signature and "⊎ E" in signature
+
+    def test_optimized_battle_scripts_stay_equivalent(self, registry, schema):
+        from repro.game.scripts import KNIGHT_SCRIPT
+
+        env = make_env(schema, n=16, seed=6)
+        script = parse_script(KNIGHT_SCRIPT)
+        rng = lambda row, i: (hash((row["key"], i)) & 0xFFFF)  # noqa: E731
+        reference = reference_tick(env, lambda u: script, registry, rng)
+        optimized = optimize(translate_script(script, registry), registry)
+        got = execute_plan(
+            optimized, env, registry, NaiveAggregateEvaluator(), rng
+        )
+        assert got == reference

@@ -1,0 +1,285 @@
+"""Shape classification: WHERE conjuncts → index strategies (Section 5.3)."""
+
+from repro.algebra.shapes import (
+    classify_action,
+    classify_aggregate,
+    match_squared_distance,
+)
+from repro.sgl.parser import parse_term
+from repro.sgl.sqlspec import parse_sql_function
+
+
+def agg_shape(sql):
+    return classify_aggregate(parse_sql_function(sql).spec)
+
+
+def action_shape(sql):
+    return classify_action(parse_sql_function(sql).spec)
+
+
+class TestDivisibleShapes:
+    def test_count_over_box(self):
+        shape = agg_shape(
+            """
+            function F(u, r) returns SELECT Count(*) FROM E e
+            WHERE e.posx >= u.posx - r AND e.posx <= u.posx + r
+              AND e.posy >= u.posy - r AND e.posy <= u.posy + r;
+            """
+        )
+        assert shape.kind == "divisible"
+        assert shape.range_attrs == ("posx", "posy")
+
+    def test_neq_player_becomes_anti_join_layer(self):
+        shape = agg_shape(
+            "function F(u) returns SELECT Count(*) FROM E e "
+            "WHERE e.player <> u.player;"
+        )
+        assert shape.kind == "divisible"
+        assert shape.cat_attrs == ("player",)
+        assert len(shape.neq_cats) == 1
+
+    def test_eq_categorical_layer(self):
+        shape = agg_shape(
+            "function F(u) returns SELECT Avg(posx) FROM E e "
+            "WHERE e.player = u.player;"
+        )
+        assert shape.eq_cats[0].attr == "player"
+
+    def test_constant_equality_is_build_filter(self):
+        shape = agg_shape(
+            "function F(u) returns SELECT Count(*) FROM E e "
+            "WHERE e.unittype = 'knight';"
+        )
+        assert shape.kind == "divisible"
+        assert shape.e_only  # no u reference: filtered at build
+
+    def test_e_only_health_filter(self):
+        shape = agg_shape(
+            "function F(u) returns SELECT Count(*) FROM E e "
+            "WHERE e.health < e.max_health AND e.player = u.player;"
+        )
+        assert shape.kind == "divisible"
+        assert len(shape.e_only) == 1
+
+    def test_u_only_conjunct(self):
+        shape = agg_shape(
+            "function F(u) returns SELECT Count(*) FROM E e "
+            "WHERE u.health > 5;"
+        )
+        assert len(shape.u_only) == 1
+
+    def test_flipped_operand_order(self):
+        # bound on the left, e on the right
+        shape = agg_shape(
+            "function F(u, r) returns SELECT Count(*) FROM E e "
+            "WHERE u.posx - r <= e.posx AND e.posx <= u.posx + r;"
+        )
+        assert shape.kind == "divisible"
+        assert shape.ranges[0].attr == "posx"
+        assert shape.ranges[0].lowers and shape.ranges[0].uppers
+
+    def test_linear_form_with_offset(self):
+        # u.posx - e.posx < r  ==>  e.posx > u.posx - r
+        shape = agg_shape(
+            "function F(u, r) returns SELECT Count(*) FROM E e "
+            "WHERE u.posx - e.posx < r;"
+        )
+        assert shape.kind == "divisible"
+        assert shape.ranges[0].lowers[0].strict
+
+    def test_abs_expansion(self):
+        shape = agg_shape(
+            "function F(u, r) returns SELECT Count(*) FROM E e "
+            "WHERE abs(u.posx - e.posx) <= r AND abs(u.posy - e.posy) <= r;"
+        )
+        assert shape.kind == "divisible"
+        assert shape.range_attrs == ("posx", "posy")
+        for constraint in shape.ranges:
+            assert constraint.lowers and constraint.uppers
+
+    def test_measure_referencing_u_falls_back(self):
+        shape = agg_shape(
+            "function F(u) returns SELECT Sum(e.health - u.health) FROM E e;"
+        )
+        assert shape.kind == "fallback"
+
+    def test_residual_or_demotes(self):
+        shape = agg_shape(
+            "function F(u) returns SELECT Count(*) FROM E e "
+            "WHERE e.posx = u.posx OR e.posy = u.posy;"
+        )
+        assert shape.kind == "fallback"
+        assert shape.residual
+
+
+class TestExtremeShapes:
+    def test_argmin_health_over_box(self):
+        shape = agg_shape(
+            """
+            function F(u, r) returns SELECT ArgMin(health) FROM E e
+            WHERE e.posx >= u.posx - r AND e.posx <= u.posx + r
+              AND e.posy >= u.posy - r AND e.posy <= u.posy + r;
+            """
+        )
+        assert shape.kind == "extreme"
+        assert shape.extreme_kind == "min"
+        assert shape.returns_row
+
+    def test_max_value_over_box(self):
+        shape = agg_shape(
+            """
+            function F(u, r) returns SELECT Max(health) FROM E e
+            WHERE e.posx >= u.posx - r AND e.posx <= u.posx + r
+              AND e.posy >= u.posy - r AND e.posy <= u.posy + r;
+            """
+        )
+        assert shape.kind == "extreme"
+        assert shape.extreme_kind == "max"
+        assert not shape.returns_row
+
+    def test_open_box_falls_back(self):
+        # only one bounded dimension: the sweep needs a full box
+        shape = agg_shape(
+            "function F(u, r) returns SELECT Min(health) FROM E e "
+            "WHERE e.posx >= u.posx - r AND e.posx <= u.posx + r;"
+        )
+        assert shape.kind == "fallback"
+
+    def test_global_min_falls_back(self):
+        shape = agg_shape(
+            "function F(u) returns SELECT Min(health) FROM E e;"
+        )
+        assert shape.kind == "fallback"
+
+
+class TestNearestShapes:
+    def test_argmin_squared_distance(self):
+        shape = agg_shape(
+            "function F(u) returns SELECT ArgMin((e.posx - u.posx) * "
+            "(e.posx - u.posx) + (e.posy - u.posy) * (e.posy - u.posy)) "
+            "FROM E e WHERE e.player <> u.player;"
+        )
+        assert shape.kind == "nearest"
+        assert shape.nearest_attrs == ("posx", "posy")
+
+    def test_match_squared_distance_term(self):
+        term = parse_term(
+            "(e.posx - u.posx) * (e.posx - u.posx) "
+            "+ (e.posy - u.posy) * (e.posy - u.posy)"
+        )
+        match = match_squared_distance(term)
+        assert match is not None
+        attrs, centers = match
+        assert attrs == ("posx", "posy")
+
+    def test_reversed_difference_matches(self):
+        term = parse_term(
+            "(u.posx - e.posx) * (u.posx - e.posx) "
+            "+ (u.posy - e.posy) * (u.posy - e.posy)"
+        )
+        assert match_squared_distance(term) is not None
+
+    def test_pow_form_matches(self):
+        term = parse_term("pow(e.posx - u.posx, 2) + pow(e.posy - u.posy, 2)")
+        assert match_squared_distance(term) is not None
+
+    def test_same_attribute_twice_rejected(self):
+        term = parse_term(
+            "(e.posx - u.posx) * (e.posx - u.posx) "
+            "+ (e.posx - u.posy) * (e.posx - u.posy)"
+        )
+        assert match_squared_distance(term) is None
+
+    def test_non_distance_rejected(self):
+        assert match_squared_distance(parse_term("e.posx + e.posy")) is None
+
+
+class TestActionShapes:
+    def test_key_action(self):
+        shape = action_shape(
+            "function F(u, t) returns SELECT e.key, 1 AS damage FROM E e "
+            "WHERE e.key = t;"
+        )
+        assert shape.kind == "key"
+
+    def test_self_key_action(self):
+        shape = action_shape(
+            "function F(u, vx) returns SELECT e.key, vx AS movevect_x "
+            "FROM E e WHERE e.key = u.key;"
+        )
+        assert shape.kind == "key"
+
+    def test_aoe_max_aura(self):
+        shape = action_shape(
+            """
+            function F(u) returns
+            SELECT e.key, nonsql_max(e.inaura, _HEAL_AURA) AS inaura
+            FROM E e
+            WHERE u.player = e.player
+              AND abs(u.posx - e.posx) <= _R AND abs(u.posy - e.posy) <= _R;
+            """
+        )
+        assert shape.kind == "aoe"
+        assert shape.effect_attr == "inaura"
+        assert shape.cat_attrs == ("player",)
+
+    def test_aoe_sum_damage(self):
+        shape = action_shape(
+            """
+            function F(u) returns
+            SELECT e.key, e.damage + 2 AS damage
+            FROM E e
+            WHERE abs(u.posx - e.posx) <= _R AND abs(u.posy - e.posy) <= _R;
+            """
+        )
+        assert shape.kind == "aoe"
+
+    def test_e_dependent_effect_scans(self):
+        shape = action_shape(
+            """
+            function F(u) returns
+            SELECT e.key, e.damage + e.armor AS damage
+            FROM E e
+            WHERE abs(u.posx - e.posx) <= _R AND abs(u.posy - e.posy) <= _R;
+            """
+        )
+        assert shape.kind == "scan"
+
+    def test_multi_effect_scans(self):
+        shape = action_shape(
+            """
+            function F(u) returns
+            SELECT e.key, 1 AS damage, 2 AS inaura
+            FROM E e
+            WHERE abs(u.posx - e.posx) <= _R AND abs(u.posy - e.posy) <= _R;
+            """
+        )
+        assert shape.kind == "scan"
+
+    def test_battle_actions(self):
+        from repro.game.scripts import build_registry
+
+        registry = build_registry()
+        kinds = {
+            name: classify_action(fn.spec).kind
+            for name, fn in registry.actions.items()
+        }
+        assert kinds == {
+            "MoveInDirection": "key",
+            "FireAt": "key",
+            "UseWeapon": "key",
+            "Heal": "aoe",
+        }
+
+    def test_battle_aggregates(self):
+        from repro.game.scripts import build_registry
+
+        registry = build_registry()
+        kinds = {
+            name: classify_aggregate(fn.spec).kind
+            for name, fn in registry.aggregates.items()
+        }
+        assert kinds["CountEnemiesInRange"] == "divisible"
+        assert kinds["WeakestEnemyInRange"] == "extreme"
+        assert kinds["NearestEnemy"] == "nearest"
+        assert "fallback" not in kinds.values()

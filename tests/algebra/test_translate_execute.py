@@ -1,0 +1,175 @@
+"""SGL → algebra translation and set-at-a-time execution (Section 5.1).
+
+The load-bearing property: for every script, the algebra executor --
+raw plan, optimized plan, naive or indexed aggregate evaluation --
+produces exactly the table the reference interpreter produces.
+"""
+
+import pytest
+
+from repro.algebra.executor import PlanExecutor, execute_plan
+from repro.algebra.ops import AggExtend, Apply, Combine, ScanE, Select
+from repro.algebra.rewrite import optimize
+from repro.algebra.translate import translate_script
+from repro.engine.evaluator import IndexedEvaluator
+from repro.sgl.interp import NaiveAggregateEvaluator, reference_tick
+from repro.sgl.parser import parse_script
+from tests.conftest import make_env
+
+
+def rng_for(seed=0):
+    return lambda row, i: (hash((seed, row["key"], i)) & 0xFFFF)
+
+
+def check_equivalence(source, registry, schema, n=16, seed=0):
+    env = make_env(schema, n=n, seed=seed)
+    script = parse_script(source)
+    rng = rng_for(seed)
+    reference = reference_tick(env, lambda u: script, registry, rng)
+
+    plan = translate_script(script, registry)
+    optimized = optimize(plan, registry)
+    for label, p in (("raw", plan), ("optimized", optimized)):
+        got = execute_plan(p, env, registry, NaiveAggregateEvaluator(), rng)
+        assert got == reference, f"{label} plan diverges"
+
+    indexed = IndexedEvaluator(registry)
+    indexed.begin_tick(env)
+    got = execute_plan(optimized, env, registry, indexed, rng)
+    assert got == reference, "indexed execution diverges"
+    return optimized
+
+
+class TestTranslationShapes:
+    def test_perform_becomes_apply_over_scan(self, registry):
+        plan = translate_script(
+            parse_script("main(u) { perform UseWeapon(u) }"), registry
+        )
+        assert isinstance(plan, Combine) and plan.include_e
+        (apply_node,) = plan.inputs
+        assert isinstance(apply_node, Apply)
+        assert isinstance(apply_node.child, ScanE)
+
+    def test_if_becomes_select(self, registry):
+        plan = translate_script(
+            parse_script(
+                "main(u) { if u.health > 0 then perform UseWeapon(u) }"
+            ),
+            registry,
+        )
+        (apply_node,) = plan.inputs
+        assert isinstance(apply_node.child, Select)
+
+    def test_let_aggregate_becomes_agg_extend(self, registry):
+        plan = translate_script(
+            parse_script(
+                "main(u) { (let c = CountEnemiesInRange(u, 5)) "
+                "if c > 0 then perform UseWeapon(u) }"
+            ),
+            registry,
+        )
+        (apply_node,) = plan.inputs
+        select = apply_node.child
+        assert isinstance(select.child, AggExtend)
+
+    def test_if_else_shares_child(self, registry):
+        plan = translate_script(
+            parse_script(
+                "main(u) { (let c = CountEnemiesInRange(u, 5)) "
+                "if c > 0 then perform UseWeapon(u) "
+                "else perform MoveInDirection(u, 1, 0) }"
+            ),
+            registry,
+        )
+        then_apply, else_apply = plan.inputs
+        # rule 9: σφ and σ¬φ over the same (identical object) input
+        assert then_apply.child.child is else_apply.child.child
+
+    def test_defined_functions_inline(self, registry):
+        plan = translate_script(
+            parse_script(
+                "main(u) { perform Helper(u) } "
+                "Helper(w) { perform UseWeapon(w) }"
+            ),
+            registry,
+        )
+        (apply_node,) = plan.inputs
+        assert apply_node.action == "UseWeapon"
+
+    def test_unbounded_recursion_rejected(self, registry):
+        from repro.sgl.errors import SglTypeError
+
+        with pytest.raises(SglTypeError):
+            translate_script(
+                parse_script("main(u) { perform main(u) }"), registry
+            )
+
+
+class TestExecutionEquivalence:
+    def test_idle_script(self, registry, schema):
+        check_equivalence("main(u) { }", registry, schema)
+
+    def test_unconditional_action(self, registry, schema):
+        check_equivalence("main(u) { perform UseWeapon(u) }", registry, schema)
+
+    def test_conditional_on_attribute(self, registry, schema):
+        check_equivalence(
+            "main(u) { if u.player = 0 then perform MoveInDirection(u, 1, 0) "
+            "else perform MoveInDirection(u, 0 - 1, 0) }",
+            registry, schema,
+        )
+
+    def test_aggregate_condition(self, registry, schema):
+        check_equivalence(
+            "main(u) { (let c = CountEnemiesInRange(u, 10)) "
+            "if c > 1 then perform UseWeapon(u) }",
+            registry, schema,
+        )
+
+    def test_argmin_target(self, registry, schema):
+        check_equivalence(
+            "main(u) { (let t = NearestEnemy(u)) perform FireAt(u, t.key) }",
+            registry, schema,
+        )
+
+    def test_random_in_action(self, registry, schema):
+        check_equivalence(
+            "main(u) { (let t = NearestEnemy(u)) perform FireAt(u, t.key) }",
+            registry, schema, seed=3,
+        )
+
+    def test_figure_3(self, registry, schema):
+        from repro.game.scripts import FIGURE_3_SCRIPT
+
+        check_equivalence(FIGURE_3_SCRIPT, registry, schema, n=20)
+
+    @pytest.mark.parametrize("script_name", ["knight", "archer", "healer"])
+    def test_battle_scripts(self, registry, schema, script_name):
+        from repro.game.scripts import (
+            ARCHER_SCRIPT,
+            HEALER_SCRIPT,
+            KNIGHT_SCRIPT,
+        )
+
+        source = {
+            "knight": KNIGHT_SCRIPT,
+            "archer": ARCHER_SCRIPT,
+            "healer": HEALER_SCRIPT,
+        }[script_name]
+        check_equivalence(source, registry, schema, n=20, seed=4)
+
+    def test_memoisation_counts_shared_nodes_once(self, registry, schema):
+        env = make_env(schema, n=8)
+        script = parse_script(
+            "main(u) { (let c = CountEnemiesInRange(u, 5)) "
+            "if c > 0 then perform UseWeapon(u) "
+            "else perform MoveInDirection(u, 1, 0) }"
+        )
+        plan = translate_script(script, registry)
+        executor = PlanExecutor(
+            env, registry, NaiveAggregateEvaluator(), rng_for()
+        )
+        executor.run(plan)
+        # ScanE + AggExtend + 2×Select + 2×Apply = 6 operator evaluations;
+        # without sharing the AggExtend/ScanE would run twice
+        assert executor.ops_evaluated == 6

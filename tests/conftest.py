@@ -1,0 +1,50 @@
+"""Shared fixtures: schemas, registries, and deterministic battle envs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.rng import TickRandom
+from repro.env.schema import battle_schema
+from repro.env.table import EnvironmentTable
+from repro.game.scripts import build_registry
+from repro.game.units import unit_row
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return battle_schema()
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return build_registry()
+
+
+def make_env(schema, n=24, grid=40, seed=0, types=("knight", "archer", "healer")):
+    """A deterministic battle environment with distinct positions."""
+    rng = random.Random(seed)
+    env = EnvironmentTable(schema)
+    taken = set()
+    for key in range(n):
+        while True:
+            x, y = rng.randrange(grid), rng.randrange(grid)
+            if (x, y) not in taken:
+                taken.add((x, y))
+                break
+        env.rows.append(
+            unit_row(key, key % 2, types[key % len(types)], x, y, schema=schema)
+        )
+    return env
+
+
+@pytest.fixture()
+def small_env(schema):
+    return make_env(schema, n=24, grid=30, seed=0)
+
+
+@pytest.fixture()
+def tick_rng():
+    return TickRandom(seed=1234, tick=1)

@@ -1,0 +1,110 @@
+"""DecisionRunner: the engine's set-at-a-time script execution.
+
+Must agree with the reference Interpreter for every action-application
+strategy (scan, key-lookup, deferred AoE handled in effects tests).
+"""
+
+import pytest
+
+from repro.engine.decision import DecisionRunner
+from repro.engine.evaluator import NaiveEvaluator
+from repro.env.combine import combine_all
+from repro.env.table import EnvironmentTable
+from repro.sgl.errors import SglNameError
+from repro.sgl.evalterm import EvalContext
+from repro.sgl.interp import reference_tick
+from repro.sgl.parser import parse_script
+from tests.conftest import make_env
+
+
+def run_tick(script_src, env, registry, *, index_actions):
+    script = parse_script(script_src)
+    runner = DecisionRunner(
+        script, registry, index_actions=index_actions, defer_aoe=False
+    )
+    rng = lambda row, i: (hash((row["key"], i)) & 0xFFFF)  # noqa: E731
+    rows, aoe = [], []
+    by_key = env.by_key() if index_actions else None
+
+    def ctx_factory(unit):
+        return EvalContext(
+            env=env, registry=registry, agg_eval=NaiveEvaluator(),
+            rng=rng, bindings={}, unit=unit,
+        )
+
+    for unit in env.rows:
+        runner.run_unit(unit, ctx_factory, by_key, rows, aoe)
+    effects = EnvironmentTable(env.schema)
+    effects.rows.extend(rows)
+    return combine_all([env, effects], env.schema), rng
+
+
+@pytest.mark.parametrize("index_actions", [True, False])
+class TestAgainstReference:
+    def check(self, src, registry, schema, index_actions, n=14, seed=0):
+        env = make_env(schema, n=n, seed=seed)
+        got, rng = run_tick(src, env, registry, index_actions=index_actions)
+        script = parse_script(src)
+        expected = reference_tick(env, lambda u: script, registry, rng)
+        assert got == expected
+
+    def test_self_move(self, registry, schema, index_actions):
+        self.check(
+            "main(u) { perform MoveInDirection(u, 1, 2) }",
+            registry, schema, index_actions,
+        )
+
+    def test_fire_at_nearest(self, registry, schema, index_actions):
+        self.check(
+            "main(u) { (let t = NearestEnemy(u)) perform FireAt(u, t.key); "
+            "perform UseWeapon(u) }",
+            registry, schema, index_actions,
+        )
+
+    def test_heal_scan_path(self, registry, schema, index_actions):
+        self.check(
+            "main(u) { if u.unittype = 'healer' then perform Heal(u) }",
+            registry, schema, index_actions,
+        )
+
+    def test_conditionals_and_sequences(self, registry, schema, index_actions):
+        self.check(
+            "main(u) { if u.player = 0 then { "
+            "perform MoveInDirection(u, 1, 0); perform UseWeapon(u) } "
+            "else perform MoveInDirection(u, 0 - 1, 0) }",
+            registry, schema, index_actions,
+        )
+
+    def test_defined_function_dispatch(self, registry, schema, index_actions):
+        self.check(
+            "main(u) { perform Go(u, 3) } "
+            "Go(w, dist) { perform MoveInDirection(w, dist, dist) }",
+            registry, schema, index_actions,
+        )
+
+
+class TestKeyActionPath:
+    def test_null_target_is_noop(self, registry, schema):
+        # NULL key (empty aggregate) must fire at nobody, not crash
+        env = make_env(schema, n=6)
+        for row in env.rows:
+            row["player"] = 0  # no enemies: NearestEnemy is NULL
+        got, _ = run_tick(
+            "main(u) { (let t = NearestEnemy(u)) perform FireAt(u, t.key) }",
+            env, registry, index_actions=True,
+        )
+        assert all(row["damage"] == 0 for row in got)
+
+    def test_missing_key_is_noop(self, registry, schema):
+        env = make_env(schema, n=4)
+        got, _ = run_tick(
+            "main(u) { perform FireAt(u, 9999) }",
+            env, registry, index_actions=True,
+        )
+        assert all(row["damage"] == 0 for row in got)
+
+    def test_unknown_action_raises(self, registry, schema):
+        env = make_env(schema, n=2)
+        with pytest.raises(SglNameError):
+            run_tick("main(u) { perform Warp(u) }", env, registry,
+                     index_actions=True)

@@ -1,0 +1,217 @@
+"""Naive vs indexed aggregate evaluation: per-call equivalence.
+
+The paper's two pluggable evaluators must agree bit-for-bit, including
+on argmin/argmax identities.  These tests call every battle aggregate
+directly with both evaluators over randomized environments.
+"""
+
+import pytest
+
+from repro.engine.evaluator import (
+    CallHint,
+    IndexedEvaluator,
+    NaiveEvaluator,
+    collect_call_hints,
+    empty_aggregate_result,
+)
+from repro.sgl import ast
+from repro.sgl.analysis import analyze_script
+from repro.sgl.evalterm import EvalContext
+from repro.sgl.parser import parse_script, parse_term
+from repro.sgl.values import Record
+from tests.conftest import make_env
+
+
+def make_ctx(env, registry, agg_eval, unit):
+    return EvalContext(
+        env=env,
+        registry=registry,
+        agg_eval=agg_eval,
+        rng=lambda row, i: 0,
+        bindings={"u": unit},
+        unit=unit,
+    )
+
+
+def hint_for(registry, fn_name, arg_sources, units):
+    args = tuple(parse_term(s) for s in arg_sources)
+    return (CallHint(function=fn_name, unit_param="u", arg_terms=args), units)
+
+
+def call_both(registry, env, fn_name, args_for_unit, hints=()):
+    """Evaluate fn for every unit with both evaluators; compare."""
+    fn = registry.aggregates[fn_name]
+    naive = NaiveEvaluator()
+    indexed = IndexedEvaluator(registry)
+    indexed.begin_tick(env, hints)
+    for unit in env.rows:
+        args = args_for_unit(unit)
+        ctx_naive = make_ctx(env, registry, naive, unit)
+        ctx_indexed = make_ctx(env, registry, indexed, unit)
+        expected = naive.evaluate(fn, list(args), ctx_naive)
+        got = indexed.evaluate(fn, list(args), ctx_indexed)
+        assert got == expected, (
+            f"{fn_name} diverges for unit {unit['key']}: "
+            f"{got!r} != {expected!r}"
+        )
+    return indexed
+
+
+@pytest.fixture()
+def env(schema):
+    return make_env(schema, n=40, grid=25, seed=9)
+
+
+class TestDivisible:
+    def test_count_enemies(self, registry, env):
+        indexed = call_both(
+            registry, env, "CountEnemiesInRange", lambda u: (u, u["sight"])
+        )
+        assert indexed.stats.get("probe_divisible", 0) == len(env)
+
+    def test_centroid(self, registry, env):
+        call_both(registry, env, "CentroidOfEnemies", lambda u: (u, 8))
+
+    def test_zero_dim_group_totals(self, registry, env):
+        call_both(registry, env, "CentroidOfFriendlyKnights", lambda u: (u,))
+
+    def test_stddev(self, registry, env):
+        call_both(registry, env, "FriendlySpread", lambda u: (u,))
+
+    def test_wounded_filter(self, registry, env):
+        for row in env.rows[::3]:
+            row["health"] = max(row["health"] - 4, 1)
+        call_both(
+            registry, env, "CountWoundedFriendliesInRange",
+            lambda u: (u, u["sight"]),
+        )
+
+    def test_dynamic_point_bounds(self, registry, env):
+        call_both(
+            registry, env, "CountFriendliesNearPoint",
+            lambda u: (u, u["posx"] + 1, u["posy"] - 1, 4),
+        )
+
+    def test_empty_radius(self, registry, env):
+        call_both(registry, env, "CountEnemiesInRange", lambda u: (u, 0))
+
+
+class TestNearest:
+    def test_nearest_enemy(self, registry, env):
+        indexed = call_both(registry, env, "NearestEnemy", lambda u: (u,))
+        assert indexed.stats.get("probe_kdtree", 0) == len(env)
+
+    def test_nearest_is_record(self, registry, env):
+        fn = registry.aggregates["NearestEnemy"]
+        indexed = IndexedEvaluator(registry)
+        indexed.begin_tick(env)
+        unit = env.rows[0]
+        ctx = make_ctx(env, registry, indexed, unit)
+        result = indexed.evaluate(fn, [unit], ctx)
+        assert isinstance(result, Record)
+        assert result.player != unit["player"]
+
+
+class TestExtreme:
+    def hints(self, registry, env, fn, radius_src):
+        return [hint_for(registry, fn, ("u", radius_src), env.rows)]
+
+    def test_weakest_enemy_with_hints(self, registry, env):
+        indexed = call_both(
+            registry, env, "WeakestEnemyInRange",
+            lambda u: (u, u["sight"]),
+            hints=self.hints(registry, env, "WeakestEnemyInRange", "u.sight"),
+        )
+        assert indexed.stats.get("probe_sweep", 0) == len(env)
+        assert indexed.stats.get("sweep_miss", 0) == 0
+
+    def test_unhinted_args_fall_back_to_scan(self, registry, env):
+        indexed = call_both(
+            registry, env, "WeakestEnemyInRange",
+            lambda u: (u, 7),  # dynamic radius, no matching hint
+        )
+        assert indexed.stats.get("probe_scan", 0) == len(env)
+
+    def test_mixed_extents_grouped(self, registry, env):
+        # different sight per unit type: several sweep groups per tick
+        hints = self.hints(registry, env, "WeakestEnemyInRange", "u.sight")
+        indexed = call_both(
+            registry, env, "WeakestEnemyInRange",
+            lambda u: (u, u["sight"]),
+            hints=hints,
+        )
+        assert indexed.stats.get("build_sweep", 0) == 1
+
+    def test_wounded_friendly(self, registry, env):
+        for row in env.rows[::2]:
+            row["health"] -= 3
+        call_both(
+            registry, env, "WeakestWoundedFriendlyInRange",
+            lambda u: (u, u["sight"]),
+            hints=self.hints(
+                registry, env, "WeakestWoundedFriendlyInRange", "u.sight"
+            ),
+        )
+
+
+class TestEmptyResults:
+    def test_empty_helper_scalar(self, registry):
+        fn = registry.aggregates["CountEnemiesInRange"]
+        assert empty_aggregate_result(fn.spec.outputs) == 0
+
+    def test_empty_helper_record(self, registry):
+        fn = registry.aggregates["CentroidOfEnemies"]
+        result = empty_aggregate_result(fn.spec.outputs)
+        assert result.x is None and result.y is None
+
+    def test_one_player_world(self, registry, schema):
+        env = make_env(schema, n=10)
+        for row in env.rows:
+            row["player"] = 0  # no enemies anywhere
+        call_both(registry, env, "CountEnemiesInRange", lambda u: (u, 10))
+        call_both(registry, env, "NearestEnemy", lambda u: (u,))
+
+
+class TestCallHints:
+    def test_static_args_hinted(self, registry, schema):
+        script = parse_script(
+            "main(u) { (let w = WeakestEnemyInRange(u, u.sight)) "
+            "if w.key > 0 then perform UseWeapon(u) }"
+        )
+        analysis = analyze_script(script, registry, schema)
+        hints = collect_call_hints(analysis, {"main": "u"})
+        assert [h.function for h in hints] == ["WeakestEnemyInRange"]
+
+    def test_dynamic_args_not_hinted(self, registry, schema):
+        script = parse_script(
+            "main(u) { (let r = CountEnemiesInRange(u, 5)) "
+            "(let w = WeakestEnemyInRange(u, r)) "
+            "if w.key > 0 then perform UseWeapon(u) }"
+        )
+        analysis = analyze_script(script, registry, schema)
+        hints = collect_call_hints(analysis, {"main": "u"})
+        functions = [h.function for h in hints]
+        assert "WeakestEnemyInRange" not in functions
+
+    def test_constant_args_hinted(self, registry, schema):
+        script = parse_script(
+            "main(u) { (let w = WeakestEnemyInRange(u, _HEALER_RANGE)) "
+            "if w.key > 0 then perform UseWeapon(u) }"
+        )
+        analysis = analyze_script(script, registry, schema)
+        hints = collect_call_hints(analysis, {"main": "u"})
+        assert [h.function for h in hints] == ["WeakestEnemyInRange"]
+
+
+class TestCascadeToggle:
+    def test_cascade_off_same_results(self, registry, env):
+        fn = registry.aggregates["CountEnemiesInRange"]
+        on = IndexedEvaluator(registry, cascade=True)
+        off = IndexedEvaluator(registry, cascade=False)
+        on.begin_tick(env)
+        off.begin_tick(env)
+        for unit in env.rows:
+            ctx_on = make_ctx(env, registry, on, unit)
+            ctx_off = make_ctx(env, registry, off, unit)
+            assert on.evaluate(fn, [unit, unit["sight"]], ctx_on) == \
+                off.evaluate(fn, [unit, unit["sight"]], ctx_off)

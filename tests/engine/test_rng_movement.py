@@ -1,0 +1,154 @@
+"""Deterministic randomness (Section 4.1) and the grid movement phase."""
+
+from repro.engine.movement import Grid, desired_direction, run_movement_phase
+from repro.engine.rng import TickRandom, splitmix64
+
+
+class TestTickRandom:
+    def test_stable_within_tick(self):
+        rng = TickRandom(seed=42, tick=3)
+        row = {"key": 7}
+        assert rng(row, 1) == rng(row, 1)
+
+    def test_varies_between_ticks(self):
+        row = {"key": 7}
+        a = TickRandom(seed=42, tick=1)(row, 1)
+        b = TickRandom(seed=42, tick=2)(row, 1)
+        assert a != b
+
+    def test_varies_per_unit(self):
+        rng = TickRandom(seed=42, tick=1)
+        assert rng({"key": 1}, 1) != rng({"key": 2}, 1)
+
+    def test_varies_per_index(self):
+        rng = TickRandom(seed=42, tick=1)
+        row = {"key": 1}
+        assert rng(row, 1) != rng(row, 2)
+
+    def test_seed_changes_everything(self):
+        row = {"key": 1}
+        assert TickRandom(1, tick=1)(row, 1) != TickRandom(2, tick=1)(row, 1)
+
+    def test_advance(self):
+        rng = TickRandom(seed=5)
+        rng.advance()
+        assert rng.tick == 1
+        rng.advance(10)
+        assert rng.tick == 10
+
+    def test_uniform_in_range(self):
+        rng = TickRandom(seed=5, tick=1)
+        for i in range(50):
+            assert 0 <= rng.uniform({"key": i}, 1, 7) < 7
+
+    def test_splitmix_is_64bit(self):
+        assert 0 <= splitmix64(123456789) < (1 << 64)
+
+    def test_nonnegative(self):
+        rng = TickRandom(seed=9, tick=4)
+        assert all(rng({"key": k}, 0) >= 0 for k in range(20))
+
+
+class TestDesiredDirection:
+    def test_cardinals(self):
+        assert desired_direction(1, 0) == 0    # east
+        assert desired_direction(0, 1) == 2    # north
+        assert desired_direction(-1, 0) == 4   # west
+        assert desired_direction(0, -1) == 6   # south
+
+    def test_diagonals(self):
+        assert desired_direction(1, 1) == 1
+        assert desired_direction(-1, -1) == 5
+
+
+class TestGrid:
+    def test_place_and_occupy(self):
+        grid = Grid(10)
+        grid.place("a", 1, 1)
+        assert grid.occupied(1, 1) and not grid.occupied(2, 2)
+
+    def test_remove(self):
+        grid = Grid(10)
+        grid.place("a", 1, 1)
+        grid.remove(1, 1)
+        assert not grid.occupied(1, 1)
+
+    def test_bounds(self):
+        grid = Grid(5)
+        assert grid.in_bounds(0, 0) and grid.in_bounds(4, 4)
+        assert not grid.in_bounds(5, 0) and not grid.in_bounds(-1, 0)
+
+    def test_free_cell_near_prefers_exact(self):
+        grid = Grid(10)
+        assert grid.free_cell_near(3, 3, lambda n: 0) == (3, 3)
+
+    def test_free_cell_near_spirals(self):
+        grid = Grid(10)
+        grid.place("a", 3, 3)
+        cell = grid.free_cell_near(3, 3, lambda n: 0)
+        assert cell != (3, 3)
+        assert abs(cell[0] - 3) <= 1 and abs(cell[1] - 3) <= 1
+
+    def test_free_cell_near_full_grid(self):
+        grid = Grid(2)
+        for x in range(2):
+            for y in range(2):
+                grid.place((x, y), x, y)
+        assert grid.free_cell_near(0, 0, lambda n: 0) is None
+
+
+def make_mover(key, x, y, mvx, mvy, speed=1):
+    return {
+        "key": key, "posx": x, "posy": y,
+        "movevect_x": mvx, "movevect_y": mvy, "speed": speed,
+    }
+
+
+class TestMovementPhase:
+    def rng(self):
+        return TickRandom(seed=0, tick=1)
+
+    def test_unit_moves_toward_vector(self):
+        rows = [make_mover(0, 5, 5, 3, 0)]
+        run_movement_phase(rows, 20, self.rng())
+        assert (rows[0]["posx"], rows[0]["posy"]) == (6, 5)
+
+    def test_stationary_unit_stays(self):
+        rows = [make_mover(0, 5, 5, 0, 0)]
+        run_movement_phase(rows, 20, self.rng())
+        assert (rows[0]["posx"], rows[0]["posy"]) == (5, 5)
+
+    def test_speed_multiplies_steps(self):
+        rows = [make_mover(0, 0, 0, 10, 0, speed=3)]
+        run_movement_phase(rows, 20, self.rng())
+        assert rows[0]["posx"] == 3
+
+    def test_collision_blocks_or_sidesteps(self):
+        rows = [
+            make_mover(0, 5, 5, 1, 0),
+            make_mover(1, 6, 5, 0, 0),  # blocking the direct path
+        ]
+        run_movement_phase(rows, 20, self.rng())
+        mover = rows[0]
+        # either it side-stepped diagonally or stayed; never on the blocker
+        assert (mover["posx"], mover["posy"]) != (6, 5) or rows[1]["posx"] != 6
+        occupied = {(r["posx"], r["posy"]) for r in rows}
+        assert len(occupied) == 2
+
+    def test_no_two_units_share_cell(self):
+        rows = [make_mover(k, k, 0, 1, 0) for k in range(6)]
+        run_movement_phase(rows, 30, self.rng())
+        cells = {(r["posx"], r["posy"]) for r in rows}
+        assert len(cells) == 6
+
+    def test_grid_boundary_respected(self):
+        rows = [make_mover(0, 19, 5, 5, 0)]
+        run_movement_phase(rows, 20, self.rng())
+        assert rows[0]["posx"] <= 19
+
+    def test_deterministic_given_rng(self):
+        rows_a = [make_mover(k, k * 2, k, 1, 1) for k in range(5)]
+        rows_b = [make_mover(k, k * 2, k, 1, 1) for k in range(5)]
+        run_movement_phase(rows_a, 30, TickRandom(7, tick=2))
+        run_movement_phase(rows_b, 30, TickRandom(7, tick=2))
+        assert rows_a == rows_b

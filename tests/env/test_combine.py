@@ -1,0 +1,131 @@
+"""The ⊕ combination operator: Eq. (2), Eq. (3), and Example 4.3."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.combine import combine, combine_all, combine_pair
+from repro.env.schema import Attribute, AttributeType, Schema
+from repro.env.table import EnvironmentTable
+
+
+def make_schema():
+    c = AttributeType.CONST
+    return Schema(
+        [
+            Attribute("key", c),
+            Attribute("pos", c),
+            Attribute("damage", AttributeType.SUM),
+            Attribute("aura", AttributeType.MAX, default=0),
+            Attribute("freeze", AttributeType.MIN, default=float("inf")),
+        ]
+    )
+
+
+SCHEMA = make_schema()
+
+
+def table(rows):
+    t = EnvironmentTable(SCHEMA)
+    for key, pos, damage, aura, freeze in rows:
+        t.rows.append(
+            {"key": key, "pos": pos, "damage": damage, "aura": aura,
+             "freeze": freeze}
+        )
+    return t
+
+
+class TestCombine:
+    def test_sum_stacks(self):
+        result = combine(table([(1, 0, 3, 0, 0), (1, 0, 4, 0, 0)]))
+        assert result.rows[0]["damage"] == 7
+
+    def test_max_takes_extreme(self):
+        result = combine(table([(1, 0, 0, 2, 0), (1, 0, 0, 5, 0)]))
+        assert result.rows[0]["aura"] == 5
+
+    def test_min_takes_extreme(self):
+        result = combine(table([(1, 0, 0, 0, 9), (1, 0, 0, 0, 4)]))
+        assert result.rows[0]["freeze"] == 4
+
+    def test_groups_by_all_const_attributes(self):
+        # same key but different const pos: two groups (the paper groups
+        # by K *and* the const attributes)
+        result = combine(table([(1, 0, 3, 0, 0), (1, 1, 4, 0, 0)]))
+        assert len(result) == 2
+
+    def test_distinct_keys_stay_separate(self):
+        result = combine(table([(1, 0, 3, 0, 0), (2, 0, 4, 0, 0)]))
+        assert len(result) == 2
+
+    def test_empty(self):
+        assert len(combine(table([]))) == 0
+
+    def test_combine_pair_equals_combine_of_union(self):
+        a = table([(1, 0, 3, 1, 0)])
+        b = table([(1, 0, 4, 5, 0), (2, 0, 1, 0, 0)])
+        assert combine_pair(a, b) == combine(a.union(b))
+
+    def test_combine_all_equals_iterated_pairs(self):
+        tables = [
+            table([(1, 0, 1, 0, 5)]),
+            table([(1, 0, 2, 3, 1)]),
+            table([(2, 0, 4, 2, 2)]),
+        ]
+        expected = combine_pair(combine_pair(tables[0], tables[1]), tables[2])
+        assert combine_all(tables, SCHEMA) == expected
+
+
+# -- property tests for the algebraic laws of Section 4.2 (Eq. 3) -----------
+
+row_strategy = st.tuples(
+    st.integers(0, 4),                      # key (collisions on purpose)
+    st.integers(0, 1),                      # pos
+    st.integers(-10, 10),                   # damage (sum)
+    st.integers(0, 10),                     # aura (max)
+    st.integers(0, 10),                     # freeze (min)
+)
+
+tables_strategy = st.lists(row_strategy, max_size=12).map(table)
+
+
+@settings(max_examples=120, deadline=None)
+@given(tables_strategy, tables_strategy)
+def test_oplus_commutative(a, b):
+    assert combine_pair(a, b) == combine_pair(b, a)
+
+
+@settings(max_examples=120, deadline=None)
+@given(tables_strategy, tables_strategy, tables_strategy)
+def test_oplus_associative(a, b, c):
+    left = combine_pair(combine_pair(a, b), c)
+    right = combine_pair(a, combine_pair(b, c))
+    assert left == right
+
+
+@settings(max_examples=120, deadline=None)
+@given(tables_strategy)
+def test_oplus_idempotent(a):
+    # Eq. 3 with E2 = ∅: ⊕(⊕(E)) = ⊕(E)
+    assert combine(combine(a)) == combine(a)
+
+
+@settings(max_examples=120, deadline=None)
+@given(tables_strategy, tables_strategy)
+def test_eq3_incremental_combining(a, b):
+    # ⊕(E1 ⊎ E2) = ⊕(⊕(E1) ⊎ E2)
+    assert combine(a.union(b)) == combine(combine(a).union(b))
+
+
+@settings(max_examples=120, deadline=None)
+@given(tables_strategy, tables_strategy)
+def test_eq3_double_combine(a, b):
+    # ⊕(E1 ⊎ E2) = ⊕(⊕(E1) ⊎ ⊕(E2))
+    assert combine(a.union(b)) == combine_pair(combine(a), combine(b))
+
+
+@settings(max_examples=80, deadline=None)
+@given(tables_strategy)
+def test_combined_table_is_keyed_by_const_signature(a):
+    combined = combine(a)
+    signatures = [(r["key"], r["pos"]) for r in combined]
+    assert len(signatures) == len(set(signatures))

@@ -1,0 +1,140 @@
+"""Schema definition and tagging (Section 4.2)."""
+
+import pytest
+
+from repro.env.schema import (
+    Attribute,
+    AttributeType,
+    Schema,
+    SchemaError,
+    battle_schema,
+)
+
+
+def make_schema():
+    c, s, m = AttributeType.CONST, AttributeType.SUM, AttributeType.MAX
+    return Schema(
+        [
+            Attribute("key", c),
+            Attribute("player", c),
+            Attribute("damage", s),
+            Attribute("inaura", m, default=0),
+        ]
+    )
+
+
+class TestAttribute:
+    def test_effect_flag(self):
+        assert not Attribute("key", AttributeType.CONST).is_effect
+        assert Attribute("d", AttributeType.SUM).is_effect
+
+    def test_sum_default_is_zero(self):
+        assert Attribute("d", AttributeType.SUM).default == 0
+
+    def test_max_default_is_neg_inf(self):
+        assert Attribute("m", AttributeType.MAX).default == float("-inf")
+
+    def test_min_default_is_pos_inf(self):
+        assert Attribute("m", AttributeType.MIN).default == float("inf")
+
+    def test_explicit_default_wins(self):
+        assert Attribute("m", AttributeType.MAX, default=0).default == 0
+
+
+class TestSchema:
+    def test_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", AttributeType.CONST)])
+
+    def test_key_must_be_const(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("key", AttributeType.SUM)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [
+                    Attribute("key", AttributeType.CONST),
+                    Attribute("key", AttributeType.SUM),
+                ]
+            )
+
+    def test_const_and_effect_partition(self):
+        schema = make_schema()
+        assert schema.const_names == ("key", "player")
+        assert schema.effect_names == ("damage", "inaura")
+
+    def test_tag_lookup(self):
+        schema = make_schema()
+        assert schema.tag_of("damage") is AttributeType.SUM
+        assert schema.tag_of("inaura") is AttributeType.MAX
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema()["nope"]
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "damage" in schema
+        assert "nope" not in schema
+
+    def test_default_row_covers_all_columns(self):
+        row = make_schema().default_row()
+        assert set(row) == {"key", "player", "damage", "inaura"}
+        assert row["damage"] == 0
+
+    def test_effect_defaults(self):
+        assert make_schema().effect_defaults() == {"damage": 0, "inaura": 0}
+
+    def test_validate_row_missing(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"key": 1})
+
+    def test_validate_row_extra(self):
+        schema = make_schema()
+        row = schema.default_row()
+        row["bogus"] = 1
+        with pytest.raises(SchemaError):
+            schema.validate_row(row)
+
+    def test_subschema_keeps_key(self):
+        sub = make_schema().subschema(["key", "damage"])
+        assert sub.names == ("key", "damage")
+
+    def test_subschema_requires_key(self):
+        with pytest.raises(SchemaError):
+            make_schema().subschema(["damage"])
+
+    def test_equality_and_hash(self):
+        assert make_schema() == make_schema()
+        assert hash(make_schema()) == hash(make_schema())
+
+
+class TestBattleSchema:
+    def test_matches_paper_eq1_attributes(self):
+        schema = battle_schema()
+        for name in (
+            "key", "player", "posx", "posy", "health", "cooldown",
+            "weaponused", "movevect_x", "movevect_y", "damage", "inaura",
+        ):
+            assert name in schema
+
+    def test_weaponused_is_max_tagged(self):
+        # Example 4.3 combines weaponused with max(...)
+        assert battle_schema().tag_of("weaponused") is AttributeType.MAX
+
+    def test_inaura_is_max_tagged_with_zero_default(self):
+        schema = battle_schema()
+        assert schema.tag_of("inaura") is AttributeType.MAX
+        assert schema["inaura"].default == 0
+
+    def test_movement_and_damage_are_sum_tagged(self):
+        schema = battle_schema()
+        for name in ("movevect_x", "movevect_y", "damage"):
+            assert schema.tag_of(name) is AttributeType.SUM
+
+    def test_state_attributes_are_const(self):
+        schema = battle_schema()
+        for name in ("key", "player", "posx", "posy", "health", "cooldown"):
+            assert schema.tag_of(name) is AttributeType.CONST

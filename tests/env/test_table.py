@@ -1,0 +1,113 @@
+"""EnvironmentTable multiset semantics and algebra primitives."""
+
+import pytest
+
+from repro.env.schema import Attribute, AttributeType, Schema, SchemaError
+from repro.env.table import EnvironmentTable
+
+
+@pytest.fixture()
+def schema():
+    c, s = AttributeType.CONST, AttributeType.SUM
+    return Schema(
+        [Attribute("key", c), Attribute("pos", c), Attribute("damage", s)]
+    )
+
+
+def row(key, pos=0, damage=0):
+    return {"key": key, "pos": pos, "damage": damage}
+
+
+class TestBasics:
+    def test_empty(self, schema):
+        table = EnvironmentTable(schema)
+        assert len(table) == 0
+        assert not table
+
+    def test_insert_and_iterate(self, schema):
+        table = EnvironmentTable(schema, [row(1), row(2)])
+        assert len(table) == 2
+        assert [r["key"] for r in table] == [1, 2]
+
+    def test_insert_validates(self, schema):
+        table = EnvironmentTable(schema)
+        with pytest.raises(SchemaError):
+            table.insert({"key": 1})
+
+    def test_insert_copies_rows(self, schema):
+        source = row(1)
+        table = EnvironmentTable(schema, [source])
+        source["damage"] = 99
+        assert table.rows[0]["damage"] == 0
+
+    def test_insert_unit_uses_defaults(self, schema):
+        table = EnvironmentTable(schema)
+        stored = table.insert_unit(key=1, pos=5)
+        assert stored["damage"] == 0
+
+    def test_insert_unit_rejects_unknown(self, schema):
+        with pytest.raises(SchemaError):
+            EnvironmentTable(schema).insert_unit(key=1, pos=0, bogus=2)
+
+    def test_insert_unit_requires_const_values(self, schema):
+        # key/pos have no defaults; omitting them must fail
+        with pytest.raises(SchemaError):
+            EnvironmentTable(schema).insert_unit(key=1)
+
+    def test_column(self, schema):
+        table = EnvironmentTable(schema, [row(1, 5), row(2, 7)])
+        assert table.column("pos") == [5, 7]
+
+    def test_by_key(self, schema):
+        table = EnvironmentTable(schema, [row(1), row(2)])
+        assert set(table.by_key()) == {1, 2}
+
+    def test_by_key_rejects_duplicates(self, schema):
+        table = EnvironmentTable(schema, [row(1), row(1)])
+        with pytest.raises(ValueError):
+            table.by_key()
+
+
+class TestAlgebraPrimitives:
+    def test_select(self, schema):
+        table = EnvironmentTable(schema, [row(1, 1), row(2, 2), row(3, 3)])
+        picked = table.select(lambda r: r["pos"] >= 2)
+        assert [r["key"] for r in picked] == [2, 3]
+
+    def test_project(self, schema):
+        table = EnvironmentTable(schema, [row(1, 5, 3)])
+        projected = table.project(["key", "damage"])
+        assert projected.schema.names == ("key", "damage")
+        assert projected.rows == [{"key": 1, "damage": 3}]
+
+    def test_union_is_multiset(self, schema):
+        a = EnvironmentTable(schema, [row(1)])
+        b = EnvironmentTable(schema, [row(1)])
+        assert len(a.union(b)) == 2
+
+    def test_union_requires_same_schema(self, schema):
+        other = Schema([Attribute("key", AttributeType.CONST)])
+        with pytest.raises(SchemaError):
+            EnvironmentTable(schema).union(EnvironmentTable(other))
+
+
+class TestMultisetEquality:
+    def test_order_independent(self, schema):
+        a = EnvironmentTable(schema, [row(1), row(2)])
+        b = EnvironmentTable(schema, [row(2), row(1)])
+        assert a == b
+
+    def test_multiplicity_matters(self, schema):
+        a = EnvironmentTable(schema, [row(1), row(1)])
+        b = EnvironmentTable(schema, [row(1)])
+        assert a != b
+
+    def test_unhashable(self, schema):
+        with pytest.raises(TypeError):
+            hash(EnvironmentTable(schema))
+
+    def test_copy_deep(self, schema):
+        a = EnvironmentTable(schema, [row(1)])
+        b = a.copy()
+        b.rows[0]["damage"] = 7
+        assert a.rows[0]["damage"] == 0

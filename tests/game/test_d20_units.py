@@ -1,0 +1,147 @@
+"""d20 mechanics, unit templates, and workload generation."""
+
+import pytest
+
+from repro.game.d20 import (
+    armor_class,
+    attack_hits,
+    damage_roll,
+    expected_damage,
+    resolve_attack,
+)
+from repro.game.scenario import (
+    composition_counts,
+    grid_size_for_density,
+    two_army_battle,
+    uniform_battle,
+)
+from repro.game.units import ARCHER, HEALER, KNIGHT, PROFILES, unit_row
+
+
+class TestD20:
+    def test_armor_class_base_10(self):
+        assert armor_class(0) == 10
+        assert armor_class(4) == 14
+
+    def test_attack_meets_or_beats(self):
+        assert attack_hits(10, 4, 14)
+        assert not attack_hits(9, 4, 14)
+
+    def test_damage_minimum_one(self):
+        assert damage_roll(1, -3) == 1
+        assert damage_roll(4, 2) == 6
+
+    def test_resolve_attack_deterministic(self):
+        rolls = {1: 15, 2: 3}  # d20 raw, damage-die raw
+        rand = lambda i: rolls[i]  # noqa: E731
+        damage = resolve_attack(4, 8, 2, 2, rand)
+        # d20 = 15 % 20 + 1 = 16, hits AC 12; die = 3 % 8 + 1 = 4; +2 bonus
+        assert damage == 6
+
+    def test_resolve_attack_miss(self):
+        rand = lambda i: 0  # noqa: E731  d20 roll = 1
+        assert resolve_attack(0, 8, 0, 9, rand) == 0
+
+    def test_sgl_firat_matches_python_reference(self, registry, schema):
+        """The FireAt arithmetic encoding == the d20 Python reference."""
+        from repro.sgl.evalterm import EvalContext, eval_term
+        from repro.sgl.interp import NaiveAggregateEvaluator
+        from tests.conftest import make_env
+
+        env = make_env(schema, n=4)
+        attacker, target = env.rows[0], env.rows[1]
+        fire = registry.actions["FireAt"].spec
+        damage_term = fire.effects["damage"]
+
+        for raw1 in (0, 7, 13, 19):
+            for raw2 in (0, 3, 5):
+                randoms = {1: raw1, 2: raw2}
+                ctx = EvalContext(
+                    env=env, registry=registry,
+                    agg_eval=NaiveAggregateEvaluator(),
+                    rng=lambda row, i: randoms[i],
+                    bindings={"u": attacker, "target_key": target["key"],
+                              "e": target},
+                    unit=attacker,
+                )
+                sgl_damage = eval_term(damage_term, ctx)
+                py_damage = resolve_attack(
+                    attacker["attack_bonus"], attacker["damage_die"],
+                    attacker["damage_bonus"], target["armor"],
+                    lambda i: randoms[i],
+                )
+                assert sgl_damage == py_damage, (raw1, raw2)
+
+    def test_expected_damage_monotone_in_armor(self):
+        high = expected_damage(4, 8, 2, 0)
+        low = expected_damage(4, 8, 2, 6)
+        assert high > low
+
+
+class TestUnits:
+    def test_profiles_exist(self):
+        assert set(PROFILES) == {KNIGHT, ARCHER, HEALER}
+
+    def test_paper_relationships(self):
+        knight, archer = PROFILES[KNIGHT], PROFILES[ARCHER]
+        # knights are armored and hit hardest but reach only arm's length
+        assert knight.armor > archer.armor
+        assert knight.damage_die > archer.damage_die
+        assert knight.attack_range < archer.attack_range
+
+    def test_unit_row_complete(self, schema):
+        row = unit_row(5, 1, KNIGHT, 3, 4, schema=schema)
+        schema.validate_row(row)
+        assert row["health"] == row["max_health"]
+        assert row["damage"] == 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            unit_row(0, 0, "dragon", 0, 0)
+
+
+class TestScenario:
+    def test_grid_size_one_percent(self):
+        size = grid_size_for_density(100, 0.01)
+        assert size * size >= 100 / 0.01
+
+    def test_grid_size_invalid_density(self):
+        with pytest.raises(ValueError):
+            grid_size_for_density(10, 0)
+
+    def test_composition_counts_sum(self):
+        counts = composition_counts(101)
+        assert sum(counts.values()) == 101
+
+    def test_composition_fractions_respected(self):
+        counts = composition_counts(1000, {KNIGHT: 0.5, ARCHER: 0.5})
+        assert counts[KNIGHT] == 500 and counts[ARCHER] == 500
+
+    def test_uniform_battle_positions_distinct(self, schema):
+        env, grid = uniform_battle(80, seed=3, schema=schema)
+        cells = {(r["posx"], r["posy"]) for r in env}
+        assert len(cells) == 80
+        assert all(0 <= r["posx"] < grid for r in env)
+
+    def test_uniform_battle_deterministic(self, schema):
+        a, _ = uniform_battle(40, seed=7, schema=schema)
+        b, _ = uniform_battle(40, seed=7, schema=schema)
+        assert a == b
+
+    def test_uniform_battle_both_players(self, schema):
+        env, _ = uniform_battle(40, seed=1, schema=schema)
+        players = {r["player"] for r in env}
+        assert players == {0, 1}
+
+    def test_two_army_battle_clusters(self, schema):
+        env, grid = two_army_battle(60, seed=2, schema=schema)
+        band = max(grid // 8, 1)
+        for row in env:
+            if row["player"] == 0:
+                assert row["posx"] < band
+            else:
+                assert row["posx"] >= grid - band
+
+    def test_two_army_counts(self, schema):
+        env, _ = two_army_battle(61, seed=2, schema=schema)
+        assert len(env) == 61

@@ -1,0 +1,119 @@
+"""Categorical hash layers and layered compositions (Sections 5.3.1/5.3.2)."""
+
+import pytest
+
+from repro.indexes.composite import (
+    GroupAggIndex,
+    partitioned_agg_tree,
+    partitioned_kdtree,
+    partitioned_rows,
+)
+from repro.indexes.hash_layer import PartitionedIndex
+
+
+def rows():
+    out = []
+    key = 0
+    for player in (0, 1):
+        for unittype in ("knight", "archer"):
+            for i in range(3):
+                out.append(
+                    {
+                        "key": key,
+                        "player": player,
+                        "unittype": unittype,
+                        "posx": key * 2,
+                        "posy": key * 3 % 7,
+                        "health": 10 + key,
+                    }
+                )
+                key += 1
+    return out
+
+
+class TestPartitionedIndex:
+    def test_partitions_by_attrs(self):
+        index = PartitionedIndex(rows(), ("player", "unittype"), factory=len)
+        assert index.probe((0, "knight")) == 3
+        assert index.probe((1, "archer")) == 3
+
+    def test_missing_group_is_none(self):
+        index = PartitionedIndex(rows(), ("player",), factory=list)
+        assert index.probe((7,)) is None
+
+    def test_no_attrs_single_group(self):
+        index = PartitionedIndex(rows(), (), factory=len)
+        assert index.probe(()) == 12
+
+    def test_group_size_and_len(self):
+        index = PartitionedIndex(rows(), ("player",), factory=list)
+        assert index.group_size((0,)) == 6
+        assert len(index) == 12
+
+    def test_groups_view(self):
+        index = PartitionedIndex(rows(), ("unittype",), factory=len)
+        assert set(index.groups) == {("knight",), ("archer",)}
+
+
+class TestGroupAggIndex:
+    def test_zero_dims_totals(self):
+        group = GroupAggIndex(rows(), (), [lambda r: r["health"]])
+        moments, = group.query([])
+        assert moments.count == 12
+        assert moments.total == sum(10 + k for k in range(12))
+
+    def test_zero_dims_count_only(self):
+        group = GroupAggIndex(rows(), (), [])
+        moments, = group.query([])
+        assert moments.count == 12
+
+    def test_one_dim(self):
+        group = GroupAggIndex(rows(), ("posx",), [lambda r: r["health"]])
+        moments, = group.query([(0, 6)])  # posx in {0,2,4,6} -> keys 0..3
+        assert moments.count == 4
+
+    def test_two_dims(self):
+        group = GroupAggIndex(
+            rows(), ("posx", "posy"), [lambda r: r["health"]]
+        )
+        all_m, = group.query([(-100, 100), (-100, 100)])
+        assert all_m.count == 12
+
+    def test_too_many_dims_rejected(self):
+        with pytest.raises(ValueError):
+            GroupAggIndex(rows(), ("posx", "posy", "health"), [])
+
+    def test_bounds_arity_checked(self):
+        group = GroupAggIndex(rows(), ("posx",), [])
+        with pytest.raises(ValueError):
+            group.query([(0, 1), (0, 1)])
+
+
+class TestCompositeBuilders:
+    def test_partitioned_rows(self):
+        index = partitioned_rows(rows(), ("player",))
+        assert len(index.probe((0,))) == 6
+
+    def test_partitioned_kdtree_probes_within_group(self):
+        index = partitioned_kdtree(rows(), ("player",))
+        tree = index.probe((1,))
+        found, _ = tree.nearest((100, 0))
+        assert found["player"] == 1
+
+    def test_partitioned_agg_tree(self):
+        index = partitioned_agg_tree(
+            rows(), ("player",), ("posx", "posy"), [lambda r: r["health"]]
+        )
+        group = index.probe((0,))
+        moments, = group.query([(-100, 100), (-100, 100)])
+        assert moments.count == 6
+
+    def test_volatility_ordering_documented(self):
+        # categorical layers (player/unittype) above continuous ones
+        # (posx/posy): probing a category narrows before any tree walk
+        index = partitioned_agg_tree(
+            rows(), ("player", "unittype"), ("posx",), []
+        )
+        group = index.probe((0, "knight"))
+        moments, = group.query([(-100, 100)])
+        assert moments.count == 3

@@ -1,0 +1,89 @@
+"""kD-tree nearest-neighbour and radius search vs brute force."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.kdtree import KDTree, build_kdtree_from_rows
+
+coord = st.integers(-30, 30)
+points = st.lists(st.tuples(coord, coord), min_size=1, max_size=50)
+probe = st.tuples(coord, coord)
+
+
+def dist_sq(a, b):
+    return (a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2
+
+
+class TestNearest:
+    @settings(max_examples=150, deadline=None)
+    @given(points, probe)
+    def test_distance_matches_bruteforce(self, pts, p):
+        tree = KDTree(pts)
+        found = tree.nearest(p)
+        best = min(dist_sq(q, p) for q in pts)
+        assert found is not None and found[1] == best
+
+    @settings(max_examples=100, deadline=None)
+    @given(points, probe)
+    def test_tie_break_by_key(self, pts, p):
+        tree = KDTree(pts)
+        found = tree.nearest(p, tie_key=lambda i: i)
+        best = min(dist_sq(q, p) for q in pts)
+        best_index = min(i for i, q in enumerate(pts) if dist_sq(q, p) == best)
+        assert found == (best_index, best)
+
+    @settings(max_examples=100, deadline=None)
+    @given(points, probe)
+    def test_exclude_predicate(self, pts, p):
+        tree = KDTree(pts)
+        found = tree.nearest(p, exclude=lambda i: i % 2 == 0)
+        candidates = [
+            (dist_sq(q, p), i) for i, q in enumerate(pts) if i % 2 == 1
+        ]
+        if not candidates:
+            assert found is None
+        else:
+            assert found[1] == min(d for d, _ in candidates)
+
+    def test_max_dist_bound(self):
+        tree = KDTree([(10, 10)])
+        assert tree.nearest((0, 0), max_dist_sq=4) is None
+        assert tree.nearest((9, 10), max_dist_sq=4) is not None
+
+    def test_empty_tree(self):
+        assert KDTree([]).nearest((0, 0)) is None
+
+    def test_duplicate_points(self):
+        tree = KDTree([(1, 1), (1, 1), (5, 5)])
+        found = tree.nearest((0, 0), tie_key=lambda i: i)
+        assert found == (0, 2)
+
+
+class TestWithinRadius:
+    @settings(max_examples=120, deadline=None)
+    @given(points, probe, st.integers(0, 15))
+    def test_matches_bruteforce(self, pts, p, radius):
+        tree = KDTree(pts)
+        got = sorted(i for i, _ in tree.within_radius(p, radius))
+        expected = sorted(
+            i for i, q in enumerate(pts) if dist_sq(q, p) <= radius * radius
+        )
+        assert got == expected
+
+    def test_boundary_inclusive(self):
+        tree = KDTree([(3, 4)])
+        assert tree.within_radius((0, 0), 5) == [(0, 25.0)]
+
+
+class TestRowHelper:
+    def test_build_from_rows(self):
+        rows = [
+            {"key": 1, "posx": 0, "posy": 0},
+            {"key": 2, "posx": 9, "posy": 9},
+        ]
+        tree = build_kdtree_from_rows(rows)
+        found = tree.nearest((1, 1))
+        assert found[0]["key"] == 1
+
+    def test_len(self):
+        assert len(KDTree([(0, 0), (1, 1)])) == 2

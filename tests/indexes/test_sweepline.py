@@ -1,0 +1,97 @@
+"""Figure-9 sweep-line min/max vs brute force, incl. argmin tie-breaks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.sweepline import sweep_arg_minmax, sweep_minmax
+
+coord = st.integers(-20, 20)
+value = st.integers(-10, 10)
+sources = st.lists(st.tuples(coord, coord, value), max_size=40)
+probes = st.lists(st.tuples(coord, coord), max_size=25)
+extent = st.integers(0, 8)
+
+
+def brute(sources, px, py, rx, ry, kind):
+    hits = [
+        v for x, y, v in sources if abs(x - px) <= rx and abs(y - py) <= ry
+    ]
+    if not hits:
+        return None
+    return min(hits) if kind == "min" else max(hits)
+
+
+class TestSweepMinMax:
+    @settings(max_examples=150, deadline=None)
+    @given(sources, probes, extent, extent, st.sampled_from(["min", "max"]))
+    def test_matches_bruteforce(self, src, prb, rx, ry, kind):
+        xy = [(x, y) for x, y, _ in src]
+        values = [v for _, _, v in src]
+        results = sweep_minmax(xy, values, prb, rx, ry, kind)
+        for (px, py), got in zip(prb, results):
+            assert got == brute(src, px, py, rx, ry, kind)
+
+    def test_empty_sources(self):
+        assert sweep_minmax([], [], [(0, 0)], 5, 5, "min") == [None]
+
+    def test_empty_probes(self):
+        assert sweep_minmax([(0, 0)], [1], [], 5, 5, "min") == []
+
+    def test_probe_on_boundary_included(self):
+        # source exactly rx/ry away is inside the closed box
+        result = sweep_minmax([(3, 4)], [7], [(0, 0)], 3, 4, "min")
+        assert result == [7]
+
+    def test_probe_just_outside_excluded(self):
+        result = sweep_minmax([(3, 4)], [7], [(0, 0)], 2, 4, "min")
+        assert result == [None]
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            sweep_minmax([], [], [], 1, 1, "sum")
+
+
+class TestSweepArgMinMax:
+    @settings(max_examples=120, deadline=None)
+    @given(sources, probes, extent, extent, st.sampled_from(["min", "max"]))
+    def test_value_matches_bruteforce(self, src, prb, rx, ry, kind):
+        xy = [(x, y) for x, y, _ in src]
+        values = [v for _, _, v in src]
+        keys = list(range(len(src)))
+        results = sweep_arg_minmax(xy, values, keys, prb, rx, ry, kind)
+        for (px, py), got in zip(prb, results):
+            expected = brute(src, px, py, rx, ry, kind)
+            if expected is None:
+                assert got is None
+            else:
+                assert got[0] == expected
+
+    @settings(max_examples=120, deadline=None)
+    @given(sources, probes, extent, extent, st.sampled_from(["min", "max"]))
+    def test_tie_breaks_toward_smallest_key(self, src, prb, rx, ry, kind):
+        xy = [(x, y) for x, y, _ in src]
+        values = [v for _, _, v in src]
+        keys = list(range(len(src)))
+        results = sweep_arg_minmax(xy, values, keys, prb, rx, ry, kind)
+        for (px, py), got in zip(prb, results):
+            hits = [
+                (v, k)
+                for k, (x, y, v) in enumerate(src)
+                if abs(x - px) <= rx and abs(y - py) <= ry
+            ]
+            if not hits:
+                assert got is None
+                continue
+            best_value = (
+                min(v for v, _ in hits) if kind == "min"
+                else max(v for v, _ in hits)
+            )
+            best_key = min(k for v, k in hits if v == best_value)
+            assert got == (best_value, best_key)
+
+    def test_identity_returned(self):
+        result = sweep_arg_minmax(
+            [(0, 0), (1, 0)], [9, 3], ["a", "b"], [(0, 0)], 2, 2, "min"
+        )
+        assert result == [(3, "b")]

@@ -1,0 +1,132 @@
+"""Static analysis: validation errors and optimizer inventories."""
+
+import pytest
+
+from repro.sgl.analysis import analyze_script
+from repro.sgl.errors import SglNameError, SglTypeError
+from repro.sgl.parser import parse_script
+
+
+def analyze(src, registry, schema=None):
+    return analyze_script(parse_script(src), registry, schema)
+
+
+class TestValidation:
+    def test_valid_script(self, registry, schema):
+        analysis = analyze(
+            "main(u) { (let c = CountEnemiesInRange(u, u.range)) "
+            "if c > 0 then perform UseWeapon(u) }",
+            registry, schema,
+        )
+        assert analysis.aggregate_functions == {"CountEnemiesInRange"}
+
+    def test_unbound_name(self, registry):
+        with pytest.raises(SglNameError):
+            analyze("main(u) { if x > 0 then perform UseWeapon(u) }", registry)
+
+    def test_let_scoping_is_downward_only(self, registry):
+        with pytest.raises(SglNameError):
+            analyze(
+                "main(u) { if 1 = 1 then (let x = 1) perform UseWeapon(u); "
+                "if x > 0 then perform UseWeapon(u) }",
+                registry,
+            )
+
+    def test_unknown_aggregate(self, registry):
+        with pytest.raises(SglNameError):
+            analyze("main(u) { (let c = Mystery(u)) perform UseWeapon(u) }",
+                    registry)
+
+    def test_unknown_action(self, registry):
+        with pytest.raises(SglNameError):
+            analyze("main(u) { perform Mystery(u) }", registry)
+
+    def test_aggregate_arity(self, registry):
+        with pytest.raises(SglTypeError):
+            analyze(
+                "main(u) { (let c = CountEnemiesInRange(u)) "
+                "perform UseWeapon(u) }",
+                registry,
+            )
+
+    def test_action_arity(self, registry):
+        with pytest.raises(SglTypeError):
+            analyze("main(u) { perform FireAt(u) }", registry)
+
+    def test_defined_function_arity(self, registry):
+        with pytest.raises(SglTypeError):
+            analyze(
+                "main(u) { perform Helper(u, 1) } Helper(w) { }", registry
+            )
+
+    def test_random_arity(self, registry):
+        with pytest.raises(SglTypeError):
+            analyze(
+                "main(u) { (let r = Random(1, 2, 3)) perform UseWeapon(u) }",
+                registry,
+            )
+
+    def test_function_needs_unit_param(self, registry):
+        with pytest.raises(SglTypeError):
+            analyze("main() { }", registry)
+
+    def test_constants_are_bound(self, registry):
+        analysis = analyze(
+            "main(u) { if u.health < _HEAL_AURA then perform UseWeapon(u) }",
+            registry,
+        )
+        assert analysis.aggregate_calls == []
+
+
+class TestInventories:
+    def test_aggregate_call_sites(self, registry):
+        analysis = analyze(
+            "main(u) { (let a = CountEnemiesInRange(u, 5)) "
+            "(let b = CountEnemiesInRange(u, 10)) "
+            "(let c = NearestEnemy(u)) perform UseWeapon(u) }",
+            registry,
+        )
+        assert len(analysis.aggregate_calls) == 3
+        assert analysis.aggregate_functions == {
+            "CountEnemiesInRange", "NearestEnemy",
+        }
+
+    def test_effects_written(self, registry):
+        analysis = analyze(
+            "main(u) { perform FireAt(u, 3); perform Heal(u) }", registry
+        )
+        assert "damage" in analysis.effects_written
+        assert "inaura" in analysis.effects_written
+
+    def test_actions_performed(self, registry):
+        analysis = analyze(
+            "main(u) { perform Helper(u) } Helper(w) { perform UseWeapon(w) }",
+            registry,
+        )
+        assert analysis.actions_performed == {"Helper", "UseWeapon"}
+
+    def test_attributes_read(self, registry, schema):
+        analysis = analyze(
+            "main(u) { if u.health > u.morale then perform UseWeapon(u) }",
+            registry, schema,
+        )
+        assert {"health", "morale"} <= analysis.attributes_read
+
+    def test_random_usage_flag(self, registry):
+        analysis = analyze(
+            "main(u) { (let r = Random(1)) if r % 2 = 0 then "
+            "perform UseWeapon(u) }",
+            registry,
+        )
+        assert analysis.uses_random
+
+    def test_battle_scripts_validate(self, registry, schema):
+        from repro.game.scripts import (
+            ARCHER_SCRIPT,
+            HEALER_SCRIPT,
+            KNIGHT_SCRIPT,
+        )
+
+        for source in (KNIGHT_SCRIPT, ARCHER_SCRIPT, HEALER_SCRIPT):
+            analysis = analyze(source, registry, schema)
+            assert analysis.aggregate_calls  # every unit script queries E

@@ -1,0 +1,128 @@
+"""FunctionRegistry: registration paths, lookups, and conflicts."""
+
+import pytest
+
+from repro.sgl.builtins import (
+    ActionFunction,
+    AggregateFunction,
+    FunctionRegistry,
+)
+from repro.sgl.errors import SglNameError, SglTypeError
+from repro.sgl.sqlspec import SqlActionSpec, SqlAggregateSpec
+
+
+class TestRegistration:
+    def test_sql_registration_classifies(self):
+        registry = FunctionRegistry()
+        names = registry.register_sql(
+            """
+            function CountAll(u) returns SELECT Count(*) FROM E e;
+            function Mark(u) returns SELECT e.key, 1 AS damage
+            FROM E e WHERE e.key = u.key;
+            """
+        )
+        assert names == ["CountAll", "Mark"]
+        assert "CountAll" in registry.aggregates
+        assert "Mark" in registry.actions
+
+    def test_duplicate_rejected(self):
+        registry = FunctionRegistry()
+        registry.register_sql(
+            "function F(u) returns SELECT Count(*) FROM E e;"
+        )
+        with pytest.raises(SglTypeError):
+            registry.register_sql(
+                "function F(u) returns SELECT Count(*) FROM E e;"
+            )
+
+    def test_cross_kind_duplicate_rejected(self):
+        registry = FunctionRegistry()
+        registry.register_sql(
+            "function F(u) returns SELECT Count(*) FROM E e;"
+        )
+        with pytest.raises(SglTypeError):
+            registry.register_sql(
+                "function F(u) returns SELECT e.key, 1 AS damage "
+                "FROM E e WHERE e.key = u.key;"
+            )
+
+    def test_native_registration(self):
+        registry = FunctionRegistry()
+        registry.register_native_aggregate(
+            "Pop", ("u",), lambda args, rows, ctx: len(rows)
+        )
+        registry.register_native_action(
+            "Noop", ("u",), lambda args, ctx: []
+        )
+        assert registry.aggregate("Pop").native is not None
+        assert registry.action("Noop").native is not None
+
+    def test_constants(self):
+        registry = FunctionRegistry()
+        registry.register_constant("_X", 5)
+        registry.register_constants({"_Y": 6, "_Z": 7})
+        assert registry.constants == {"_X": 5, "_Y": 6, "_Z": 7}
+
+    def test_lookup_errors(self):
+        registry = FunctionRegistry()
+        with pytest.raises(SglNameError):
+            registry.aggregate("Nope")
+        with pytest.raises(SglNameError):
+            registry.action("Nope")
+
+    def test_copy_is_independent(self):
+        registry = FunctionRegistry()
+        registry.register_constant("_X", 1)
+        clone = registry.copy()
+        clone.register_constant("_Y", 2)
+        assert "_Y" not in registry.constants
+
+
+class TestSpecWrappers:
+    def test_aggregate_requires_exactly_one_impl(self):
+        spec = SqlAggregateSpec(
+            where=(),
+            outputs=(
+                __import__(
+                    "repro.sgl.sqlspec", fromlist=["AggOutput"]
+                ).AggOutput("count", None, "c"),
+            ),
+        )
+        with pytest.raises(SglTypeError):
+            AggregateFunction("F", ("u",))
+        with pytest.raises(SglTypeError):
+            AggregateFunction(
+                "F", ("u",), spec=spec, native=lambda *a: 0
+            )
+
+    def test_action_requires_exactly_one_impl(self):
+        with pytest.raises(SglTypeError):
+            ActionFunction("F", ("u",))
+        with pytest.raises(SglTypeError):
+            ActionFunction(
+                "F", ("u",),
+                spec=SqlActionSpec(where=(), effects={}),
+                native=lambda *a: [],
+            )
+
+    def test_native_aggregate_runs_in_scripts(self, schema):
+        from repro.sgl.interp import Interpreter
+        from repro.sgl.parser import parse_script
+        from tests.conftest import make_env
+
+        registry = FunctionRegistry()
+        registry.register_native_aggregate(
+            "Population", ("u",), lambda args, rows, ctx: len(rows)
+        )
+        registry.register_sql(
+            "function Tag(u) returns SELECT e.key, 1 AS damage "
+            "FROM E e WHERE e.key = u.key;"
+        )
+        env = make_env(schema, n=5)
+        script = parse_script(
+            "main(u) { if Population(u) = 5 then perform Tag(u) }"
+        )
+        result = Interpreter(script, registry).run_unit(
+            env.rows[0], env, lambda row, i: 0
+        )
+        assert len(result) == 1

@@ -1,0 +1,155 @@
+"""Reference interpreter: the semantics equations of Section 4.3."""
+
+import pytest
+
+from repro.env.combine import combine
+from repro.sgl.errors import SglNameError, SglTypeError
+from repro.sgl.interp import Interpreter, reference_tick
+from repro.sgl.parser import parse_script
+from tests.conftest import make_env
+
+
+def run_unit(script_src, registry, env, unit_index=0, tick_rng=None):
+    script = parse_script(script_src)
+    interp = Interpreter(script, registry)
+    rng = tick_rng or (lambda row, i: 0)
+    return interp.run_unit(env.rows[unit_index], env, rng)
+
+
+class TestActionSemantics:
+    def test_skip_like_empty_if(self, registry, schema):
+        env = make_env(schema, n=4)
+        result = run_unit("main(u) { if 1 = 2 then perform UseWeapon(u) }",
+                          registry, env)
+        assert len(result) == 0
+
+    def test_perform_builtin_action(self, registry, schema):
+        env = make_env(schema, n=4)
+        result = run_unit("main(u) { perform UseWeapon(u) }", registry, env)
+        assert len(result) == 1
+        assert result.rows[0]["weaponused"] == 1
+        assert result.rows[0]["key"] == env.rows[0]["key"]
+
+    def test_let_extends_scope(self, registry, schema):
+        env = make_env(schema, n=4)
+        result = run_unit(
+            "main(u) { (let v = 2 + 3) if v = 5 then perform UseWeapon(u) }",
+            registry, env,
+        )
+        assert len(result) == 1
+
+    def test_if_else(self, registry, schema):
+        env = make_env(schema, n=4)
+        result = run_unit(
+            "main(u) { if 1 = 2 then perform UseWeapon(u) "
+            "else perform MoveInDirection(u, 1, 0) }",
+            registry, env,
+        )
+        assert result.rows[0]["movevect_x"] == 1
+
+    def test_seq_combines_with_oplus(self, registry, schema):
+        env = make_env(schema, n=4)
+        result = run_unit(
+            "main(u) { perform MoveInDirection(u, 1, 0); "
+            "perform MoveInDirection(u, 2, 0) }",
+            registry, env,
+        )
+        # both moves target the same unit: sum-tagged movevect_x stacks
+        assert len(result) == 1
+        assert result.rows[0]["movevect_x"] == 3
+
+    def test_result_is_already_combined(self, registry, schema):
+        env = make_env(schema, n=4)
+        result = run_unit(
+            "main(u) { perform UseWeapon(u); perform UseWeapon(u) }",
+            registry, env,
+        )
+        assert combine(result) == result
+
+    def test_defined_function_call(self, registry, schema):
+        env = make_env(schema, n=4)
+        result = run_unit(
+            "main(u) { perform Helper(u, 4) } "
+            "Helper(w, amount) { perform MoveInDirection(w, amount, 0) }",
+            registry, env,
+        )
+        assert result.rows[0]["movevect_x"] == 4
+
+    def test_defined_function_lexical_scope(self, registry, schema):
+        # Helper must not see main's let bindings
+        env = make_env(schema, n=4)
+        with pytest.raises(SglNameError):
+            run_unit(
+                "main(u) { (let x = 1) perform Helper(u) } "
+                "Helper(w) { perform MoveInDirection(w, x, 0) }",
+                registry, env,
+            )
+
+    def test_unknown_action(self, registry, schema):
+        env = make_env(schema, n=4)
+        with pytest.raises(SglNameError):
+            run_unit("main(u) { perform Nothing(u) }", registry, env)
+
+    def test_wrong_arity(self, registry, schema):
+        env = make_env(schema, n=4)
+        with pytest.raises(SglTypeError):
+            run_unit("main(u) { perform UseWeapon(u, 1) }", registry, env)
+
+
+class TestAggregatesInScripts:
+    def test_count_feeds_condition(self, registry, schema):
+        env = make_env(schema, n=6)
+        result = run_unit(
+            "main(u) { (let c = CountEnemiesInRange(u, 1000)) "
+            "if c > 0 then perform UseWeapon(u) }",
+            registry, env,
+        )
+        assert len(result) == 1
+
+    def test_argmin_record_key_targets_action(self, registry, schema):
+        env = make_env(schema, n=6)
+        result = run_unit(
+            "main(u) { (let t = NearestEnemy(u)) perform FireAt(u, t.key) }",
+            registry, env, tick_rng=lambda row, i: 19,
+        )
+        assert len(result) == 1
+        assert result.rows[0]["player"] != env.rows[0]["player"]
+
+
+class TestReferenceTick:
+    def test_every_unit_present_in_output(self, registry, schema):
+        env = make_env(schema, n=10)
+        script = parse_script("main(u) { }")
+        result = reference_tick(env, lambda u: script, registry,
+                                lambda row, i: 0)
+        assert sorted(r["key"] for r in result) == sorted(
+            r["key"] for r in env
+        )
+
+    def test_idle_tick_preserves_defaults(self, registry, schema):
+        env = make_env(schema, n=5)
+        script = parse_script("main(u) { }")
+        result = reference_tick(env, lambda u: script, registry,
+                                lambda row, i: 0)
+        for row in result:
+            assert row["damage"] == 0
+
+    def test_effects_merge_into_units(self, registry, schema):
+        env = make_env(schema, n=6)
+        script = parse_script("main(u) { perform UseWeapon(u) }")
+        result = reference_tick(env, lambda u: script, registry,
+                                lambda row, i: 0)
+        assert all(row["weaponused"] == 1 for row in result)
+
+    def test_per_unit_scripts(self, registry, schema):
+        env = make_env(schema, n=6)
+        move = parse_script("main(u) { perform MoveInDirection(u, 1, 0) }")
+        idle = parse_script("main(u) { }")
+
+        def script_for(row):
+            return move if row["player"] == 0 else idle
+
+        result = reference_tick(env, script_for, registry, lambda row, i: 0)
+        for row in result:
+            expected = 1 if row["player"] == 0 else 0
+            assert row["movevect_x"] == expected

@@ -1,0 +1,93 @@
+"""Tokenizer coverage, including the SQL keyword subset and comments."""
+
+import pytest
+
+from repro.sgl.errors import SglSyntaxError
+from repro.sgl.tokens import TokenKind, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)][:-1]  # drop EOF
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)][:-1]
+
+
+class TestBasics:
+    def test_empty_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind is TokenKind.EOF
+
+    def test_numbers(self):
+        assert texts("1 42 3.5 0.25") == ["1", "42", "3.5", "0.25"]
+
+    def test_number_then_dot_field(self):
+        # '1.x' style: the dot must not be eaten by the number
+        assert [t.text for t in tokenize("1.x")][:3] == ["1", ".", "x"]
+
+    def test_names_and_keywords(self):
+        tokens = tokenize("if posx then Else")
+        assert tokens[0].is_keyword("if")
+        assert tokens[1].kind is TokenKind.NAME
+        assert tokens[2].is_keyword("then")
+        assert tokens[3].is_keyword("else")  # keywords case-insensitive
+
+    def test_sql_keywords(self):
+        tokens = tokenize("SELECT x FROM E WHERE y AS z")
+        assert tokens[0].is_keyword("select")
+        assert tokens[2].is_keyword("from")
+        assert tokens[4].is_keyword("where")
+        assert tokens[6].is_keyword("as")
+
+    def test_operators(self):
+        assert texts("<= >= <> != == = < >") == [
+            "<=", ">=", "<>", "!=", "==", "=", "<", ">",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("(){},;.*") == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACE,
+            TokenKind.RBRACE, TokenKind.COMMA, TokenKind.SEMI,
+            TokenKind.DOT, TokenKind.STAR,
+        ]
+
+    def test_strings_single_and_double(self):
+        assert texts("'knight' \"archer\"") == ["knight", "archer"]
+
+    def test_underscore_names(self):
+        assert texts("_HEAL_AURA foo_bar") == ["_HEAL_AURA", "foo_bar"]
+
+
+class TestComments:
+    def test_hash_comment(self):
+        assert texts("1 # comment\n2") == ["1", "2"]
+
+    def test_slash_slash_comment(self):
+        assert texts("1 // comment\n2") == ["1", "2"]
+
+    def test_block_comment(self):
+        assert texts("1 /* multi\nline */ 2") == ["1", "2"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SglSyntaxError):
+            tokenize("/* oops")
+
+
+class TestErrorsAndPositions:
+    def test_unexpected_character(self):
+        with pytest.raises(SglSyntaxError):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SglSyntaxError):
+            tokenize("'oops")
+
+    def test_string_may_not_span_lines(self):
+        with pytest.raises(SglSyntaxError):
+            tokenize("'a\nb'")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)

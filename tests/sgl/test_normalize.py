@@ -1,0 +1,117 @@
+"""Aggregate normal form (Section 5.1): hoisting + semantic preservation."""
+
+from repro.sgl import ast
+from repro.sgl.interp import reference_tick
+from repro.sgl.normalize import is_normal_form, normalize_script
+from repro.sgl.parser import parse_script
+from tests.conftest import make_env
+
+
+class TestHoisting:
+    def test_paper_example(self, registry):
+        # if agg(...) = 3 then f  ==  (let v = agg(...)) if v = 3 then f
+        script = parse_script(
+            "main(u) { if CountEnemiesInRange(u, 5) = 3 then "
+            "perform UseWeapon(u) }"
+        )
+        assert not is_normal_form(script, registry)
+        normal = normalize_script(script, registry)
+        assert is_normal_form(normal, registry)
+        body = normal.main.body
+        assert isinstance(body, ast.Let)
+        assert isinstance(body.term, ast.Call)
+
+    def test_let_top_level_aggregate_already_normal(self, registry):
+        script = parse_script(
+            "main(u) { (let c = CountEnemiesInRange(u, 5)) "
+            "if c > 0 then perform UseWeapon(u) }"
+        )
+        assert is_normal_form(script, registry)
+        assert normalize_script(script, registry).main.body == script.main.body
+
+    def test_nested_aggregate_in_let_hoisted(self, registry):
+        script = parse_script(
+            "main(u) { (let x = 1 + CountEnemiesInRange(u, 5)) "
+            "if x > 1 then perform UseWeapon(u) }"
+        )
+        assert not is_normal_form(script, registry)
+        normal = normalize_script(script, registry)
+        assert is_normal_form(normal, registry)
+
+    def test_aggregate_in_perform_arg_hoisted(self, registry):
+        script = parse_script(
+            "main(u) { perform FireAt(u, NearestEnemy(u).key) }"
+        )
+        normal = normalize_script(script, registry)
+        assert is_normal_form(normal, registry)
+        assert isinstance(normal.main.body, ast.Let)
+
+    def test_else_expanded_to_negated_if(self, registry):
+        script = parse_script(
+            "main(u) { if u.health > 5 then perform UseWeapon(u) "
+            "else perform MoveInDirection(u, 1, 0) }"
+        )
+        normal = normalize_script(script, registry)
+        body = normal.main.body
+        assert isinstance(body, ast.Seq)
+        assert isinstance(body.second, ast.If)
+        assert isinstance(body.second.cond, ast.Not)
+
+    def test_fresh_names_avoid_collisions(self, registry):
+        script = parse_script(
+            "main(u) { (let __countenemies_1 = 7) "
+            "if CountEnemiesInRange(u, 5) > 0 then "
+            "perform MoveInDirection(u, __countenemies_1, 0) }"
+        )
+        normal = normalize_script(script, registry)
+        assert is_normal_form(normal, registry)
+        # the existing binding must be untouched
+        assert isinstance(normal.main.body, ast.Let)
+
+    def test_math_builtins_not_hoisted(self, registry):
+        script = parse_script(
+            "main(u) { if sqrt(u.health) > 2 then perform UseWeapon(u) }"
+        )
+        assert is_normal_form(script, registry)
+
+
+class TestSemanticPreservation:
+    def check(self, source, registry, schema, n=10):
+        env = make_env(schema, n=n)
+        script = parse_script(source)
+        normal = normalize_script(script, registry)
+        rng = lambda row, i: (hash((row["key"], i)) & 0xFFFF)  # noqa: E731
+        before = reference_tick(env, lambda u: script, registry, rng)
+        after = reference_tick(env, lambda u: normal, registry, rng)
+        assert before == after
+
+    def test_condition_aggregate(self, registry, schema):
+        self.check(
+            "main(u) { if CountEnemiesInRange(u, 100) > 2 then "
+            "perform UseWeapon(u) }",
+            registry, schema,
+        )
+
+    def test_if_else_with_aggregates(self, registry, schema):
+        self.check(
+            "main(u) { if CountEnemiesInRange(u, 8) > 1 then "
+            "perform UseWeapon(u) else perform MoveInDirection(u, 1, 1) }",
+            registry, schema,
+        )
+
+    def test_perform_arg_aggregate(self, registry, schema):
+        self.check(
+            "main(u) { if CountEnemiesInRange(u, 1000) > 0 then "
+            "perform FireAt(u, NearestEnemy(u).key) }",
+            registry, schema,
+        )
+
+    def test_battle_scripts_normalize_cleanly(self, registry, schema):
+        from repro.game.scripts import (
+            ARCHER_SCRIPT,
+            HEALER_SCRIPT,
+            KNIGHT_SCRIPT,
+        )
+
+        for source in (KNIGHT_SCRIPT, ARCHER_SCRIPT, HEALER_SCRIPT):
+            self.check(source, registry, schema, n=16)

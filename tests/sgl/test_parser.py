@@ -1,0 +1,210 @@
+"""Parser coverage: the grammar of Section 4.1 and Figure 3 verbatim."""
+
+import pytest
+
+from repro.sgl import ast
+from repro.sgl.errors import SglSyntaxError
+from repro.sgl.parser import (
+    parse_action,
+    parse_condition,
+    parse_script,
+    parse_term,
+)
+
+
+class TestTerms:
+    def test_number(self):
+        assert parse_term("42") == ast.Num(42)
+
+    def test_float(self):
+        assert parse_term("2.5") == ast.Num(2.5)
+
+    def test_string(self):
+        assert parse_term("'knight'") == ast.Str("knight")
+
+    def test_name(self):
+        assert parse_term("c") == ast.Name("c")
+
+    def test_field_access(self):
+        assert parse_term("u.posx") == ast.FieldAccess(ast.Name("u"), "posx")
+
+    def test_chained_field_access(self):
+        term = parse_term("GetNearestEnemy(u).key")
+        assert isinstance(term, ast.FieldAccess)
+        assert isinstance(term.base, ast.Call)
+
+    def test_precedence_mul_over_add(self):
+        term = parse_term("1 + 2 * 3")
+        assert term == ast.BinOp("+", ast.Num(1),
+                                 ast.BinOp("*", ast.Num(2), ast.Num(3)))
+
+    def test_left_associativity(self):
+        term = parse_term("1 - 2 - 3")
+        assert term == ast.BinOp("-", ast.BinOp("-", ast.Num(1), ast.Num(2)),
+                                 ast.Num(3))
+
+    def test_parenthesised_grouping(self):
+        term = parse_term("(1 + 2) * 3")
+        assert isinstance(term, ast.BinOp) and term.op == "*"
+
+    def test_unary_minus(self):
+        assert parse_term("-x") == ast.Neg(ast.Name("x"))
+
+    def test_unary_plus_is_noop(self):
+        assert parse_term("+x") == ast.Name("x")
+
+    def test_modulo(self):
+        assert parse_term("a % 2").op == "%"
+
+    def test_vector_literal(self):
+        term = parse_term("(u.posx, u.posy)")
+        assert isinstance(term, ast.VecLit) and len(term.items) == 2
+
+    def test_call_with_args(self):
+        term = parse_term("Count(u, u.range)")
+        assert term == ast.Call(
+            "Count", (ast.Name("u"), ast.FieldAccess(ast.Name("u"), "range"))
+        )
+
+    def test_call_no_args(self):
+        assert parse_term("Foo()") == ast.Call("Foo", ())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SglSyntaxError):
+            parse_term("1 +")
+
+
+class TestConditions:
+    def test_comparison(self):
+        cond = parse_condition("c > u.morale")
+        assert isinstance(cond, ast.Compare) and cond.op == ">"
+
+    def test_equality_is_sql_style(self):
+        assert parse_condition("a = 1").op == "="
+        assert parse_condition("a == 1").op == "="  # canonicalised
+
+    def test_inequality_aliases(self):
+        assert parse_condition("a <> 1").op == "<>"
+        assert parse_condition("a != 1").op == "<>"
+
+    def test_and_or_precedence(self):
+        cond = parse_condition("a = 1 or b = 2 and c = 3")
+        assert isinstance(cond, ast.Or)
+        assert isinstance(cond.right, ast.And)
+
+    def test_not(self):
+        cond = parse_condition("not a = 1")
+        assert isinstance(cond, ast.Not)
+
+    def test_parenthesised_condition(self):
+        cond = parse_condition("(c > 0 and u.cooldown = 0)")
+        assert isinstance(cond, ast.And)
+
+    def test_boolean_literals(self):
+        assert parse_condition("true") == ast.BoolLit(True)
+        assert parse_condition("false") == ast.BoolLit(False)
+
+    def test_missing_comparator_rejected(self):
+        with pytest.raises(SglSyntaxError):
+            parse_condition("a")
+
+
+class TestActions:
+    def test_perform(self):
+        action = parse_action("perform Fire(u, 3)")
+        assert action == ast.Perform("Fire", (ast.Name("u"), ast.Num(3)))
+
+    def test_let_binds_one_action(self):
+        action = parse_action("(let x = 1) perform F(x)")
+        assert isinstance(action, ast.Let)
+        assert isinstance(action.body, ast.Perform)
+
+    def test_nested_lets(self):
+        action = parse_action("(let x = 1) (let y = 2) perform F(x, y)")
+        assert isinstance(action, ast.Let)
+        assert isinstance(action.body, ast.Let)
+
+    def test_if_then(self):
+        action = parse_action("if x > 0 then perform F(x)")
+        assert isinstance(action, ast.If) and action.else_branch is None
+
+    def test_if_then_else(self):
+        action = parse_action("if x > 0 then perform F(x) else perform G(x)")
+        assert isinstance(action, ast.If)
+        assert action.else_branch is not None
+
+    def test_semicolon_before_else(self):
+        # the paper's Figure 3 writes "perform ...; else if ..."
+        action = parse_action(
+            "if x > 0 then perform F(x); else perform G(x)"
+        )
+        assert action.else_branch is not None
+
+    def test_block_sequences(self):
+        action = parse_action("{ perform F(x); perform G(x) }")
+        assert isinstance(action, ast.Seq)
+
+    def test_empty_block_is_skip(self):
+        assert isinstance(parse_action("{ }"), ast.Skip)
+
+    def test_sequencing_at_top_level(self):
+        action = parse_action("perform F(x); perform G(x); perform H(x)")
+        assert isinstance(action, ast.Seq)
+        assert isinstance(action.first, ast.Seq)
+
+
+class TestScripts:
+    def test_figure_3_parses(self):
+        script = parse_script(
+            """
+            main(u) {
+              (let c = CountEnemiesInRange(u, u.range))
+              (let away_vector = (u.posx, u.posy) - CentroidOfEnemyUnits(u, u.range)) {
+                if (c > u.morale) then
+                  perform MoveInDirection(u, away_vector);
+                else if (c > 0 and u.cooldown = 0) then
+                  (let target_key = getNearestEnemy(u).key) {
+                    perform FireAt(u, target_key);
+                  }
+              }
+            }
+            """
+        )
+        assert script.main.params == ("u",)
+        body = script.main.body
+        assert isinstance(body, ast.Let) and body.name == "c"
+
+    def test_multiple_functions(self):
+        script = parse_script(
+            "main(u) { perform Helper(u) } function Helper(u) { perform F(u) }"
+        )
+        assert set(script.functions) == {"main", "Helper"}
+
+    def test_function_keyword_optional(self):
+        script = parse_script("main(u) { }")
+        assert isinstance(script.main.body, ast.Skip)
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(SglSyntaxError):
+            parse_script("main(u) { } main(u) { }")
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(SglSyntaxError):
+            parse_script("helper(u) { }")
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(SglSyntaxError):
+            parse_script("")
+
+    def test_custom_entry_point(self):
+        script = parse_script("go(u) { }", entry="go")
+        assert script.main.name == "go"
+
+    def test_roundtrip_str_reparses(self):
+        source = (
+            "main(u) { (let c = Count(u)) if c > 0 then perform F(u, c) "
+            "else perform G(u) }"
+        )
+        script = parse_script(source)
+        reparsed = parse_script(f"main(u) {{ {script.main.body} }}")
+        assert reparsed.main.body == script.main.body

@@ -1,0 +1,267 @@
+"""The restricted SQL fragment: parsing Figures 4/5 and naive evaluation."""
+
+import pytest
+
+from repro.env.schema import Attribute, AttributeType, Schema
+from repro.env.table import EnvironmentTable
+from repro.sgl import ast
+from repro.sgl.builtins import FunctionRegistry
+from repro.sgl.errors import SglSyntaxError
+from repro.sgl.evalterm import EvalContext
+from repro.sgl.interp import NaiveAggregateEvaluator
+from repro.sgl.sqlspec import (
+    SqlActionSpec,
+    SqlAggregateSpec,
+    apply_action_scan,
+    evaluate_aggregate_scan,
+    parse_sql_function,
+    parse_sql_functions,
+    split_conjuncts,
+)
+from repro.sgl.values import Record
+
+
+def make_schema():
+    c = AttributeType.CONST
+    return Schema(
+        [
+            Attribute("key", c), Attribute("player", c),
+            Attribute("posx", c), Attribute("posy", c),
+            Attribute("health", c),
+            Attribute("damage", AttributeType.SUM),
+        ]
+    )
+
+
+def make_env(rows):
+    schema = make_schema()
+    env = EnvironmentTable(schema)
+    for key, player, x, y, health in rows:
+        env.rows.append(
+            {"key": key, "player": player, "posx": x, "posy": y,
+             "health": health, "damage": 0}
+        )
+    return env
+
+
+def make_ctx(env):
+    return EvalContext(
+        env=env,
+        registry=FunctionRegistry(),
+        agg_eval=NaiveAggregateEvaluator(),
+        rng=lambda row, i: 0,
+        bindings={},
+        unit=None,
+    )
+
+
+FIGURE_4_COUNT = """
+function CountEnemiesInRange(u, range) returns
+SELECT Count(*)
+FROM E
+WHERE E.posx >= u.posx - range
+  AND E.posx <= u.posx + range
+  AND E.posy >= u.posy - range
+  AND E.posy <= u.posy + range
+  AND E.player <> u.player;
+"""
+
+
+class TestParsing:
+    def test_figure_4_count(self):
+        parsed = parse_sql_function(FIGURE_4_COUNT)
+        assert parsed.name == "CountEnemiesInRange"
+        assert parsed.params == ("u", "range")
+        assert isinstance(parsed.spec, SqlAggregateSpec)
+        assert len(parsed.spec.where) == 5
+        assert parsed.spec.outputs[0].agg == "count"
+
+    def test_figure_4_centroid_multi_output(self):
+        parsed = parse_sql_function(
+            """
+            function Centroid(u) returns
+            SELECT Avg(posx) AS x, Avg(posy) AS y
+            FROM E e WHERE e.player <> u.player;
+            """
+        )
+        assert [o.alias for o in parsed.spec.outputs] == ["x", "y"]
+
+    def test_bare_columns_normalise_to_e(self):
+        parsed = parse_sql_function(
+            "function F(u) returns SELECT Sum(health) FROM E e;"
+        )
+        term = parsed.spec.outputs[0].term
+        assert term == ast.FieldAccess(ast.Name("e"), "health")
+
+    def test_table_alias_normalises(self):
+        parsed = parse_sql_function(
+            "function F(u) returns SELECT Count(*) FROM E t WHERE t.posx > u.posx;"
+        )
+        conjunct = parsed.spec.where[0]
+        assert conjunct.left == ast.FieldAccess(ast.Name("e"), "posx")
+
+    def test_constants_stay_names(self):
+        parsed = parse_sql_function(
+            "function F(u) returns SELECT Count(*) FROM E e WHERE e.posx < _LIMIT;"
+        )
+        assert parsed.spec.where[0].right == ast.Name("_LIMIT")
+
+    def test_action_spec(self):
+        parsed = parse_sql_function(
+            """
+            function Move(u, vx) returns
+            SELECT e.key, vx AS movevect_x, e.damage AS damage
+            FROM E e WHERE e.key = u.key;
+            """
+        )
+        spec = parsed.spec
+        assert isinstance(spec, SqlActionSpec)
+        # e.damage AS damage is an explicit pass-through, not an effect
+        assert set(spec.effects) == {"movevect_x"}
+
+    def test_multiple_functions(self):
+        parsed = parse_sql_functions(FIGURE_4_COUNT * 1 + FIGURE_4_COUNT.replace(
+            "CountEnemiesInRange", "CountEnemiesInRange2"))
+        assert [p.name for p in parsed] == [
+            "CountEnemiesInRange", "CountEnemiesInRange2",
+        ]
+
+    def test_mixed_select_list_rejected(self):
+        with pytest.raises(SglSyntaxError):
+            parse_sql_function(
+                "function F(u) returns SELECT Count(*), e.key FROM E e;"
+            )
+
+    def test_aggregate_requires_single_argument(self):
+        with pytest.raises(SglSyntaxError):
+            parse_sql_function(
+                "function F(u) returns SELECT Sum(a, b) FROM E e;"
+            )
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(SglSyntaxError):
+            parse_sql_function(
+                "function F(u) returns SELECT Avg(posx), Avg(posy) FROM E e;"
+            )
+
+    def test_split_conjuncts(self):
+        parsed = parse_sql_function(FIGURE_4_COUNT)
+        assert len(parsed.spec.where) == 5
+        rejoined = parsed.spec.where[0]
+        assert split_conjuncts(rejoined) == (rejoined,)
+
+
+class TestAggregateEvaluation:
+    def rows(self):
+        return [
+            (0, 0, 0, 0, 10),
+            (1, 1, 1, 0, 8),
+            (2, 1, 2, 0, 6),
+            (3, 1, 50, 50, 4),
+        ]
+
+    def evaluate(self, sql, unit_key=0, extra_args=()):
+        env = make_env(self.rows())
+        parsed = parse_sql_function(sql)
+        ctx = make_ctx(env)
+        unit = env.rows[unit_key]
+        bindings = dict(zip(parsed.params, (unit, *extra_args)))
+        return evaluate_aggregate_scan(parsed.spec, bindings, env.rows, ctx)
+
+    def test_count_in_range(self):
+        assert self.evaluate(FIGURE_4_COUNT, extra_args=(5,)) == 2
+
+    def test_count_everything(self):
+        assert self.evaluate(
+            "function F(u) returns SELECT Count(*) FROM E e;"
+        ) == 4
+
+    def test_sum_avg(self):
+        value = self.evaluate(
+            "function F(u) returns SELECT Avg(health) FROM E e "
+            "WHERE e.player <> u.player;"
+        )
+        assert value == pytest.approx(6.0)
+
+    def test_min_max(self):
+        record = self.evaluate(
+            "function F(u) returns SELECT Min(health) AS lo, Max(health) AS hi "
+            "FROM E e WHERE e.player <> u.player;"
+        )
+        assert record.lo == 4 and record.hi == 8
+
+    def test_stddev(self):
+        value = self.evaluate(
+            "function F(u) returns SELECT Stddev(health) FROM E e "
+            "WHERE e.player = u.player;"
+        )
+        assert value == pytest.approx(0.0)
+
+    def test_argmin_returns_row_record(self):
+        record = self.evaluate(
+            "function F(u) returns SELECT ArgMin(health) FROM E e "
+            "WHERE e.player <> u.player;"
+        )
+        assert isinstance(record, Record) and record.key == 3
+
+    def test_argmin_tie_breaks_by_key(self):
+        env = make_env([(0, 0, 0, 0, 5), (2, 1, 0, 0, 7), (1, 1, 1, 0, 7)])
+        parsed = parse_sql_function(
+            "function F(u) returns SELECT ArgMin(health) FROM E e "
+            "WHERE e.player <> u.player;"
+        )
+        ctx = make_ctx(env)
+        result = evaluate_aggregate_scan(
+            parsed.spec, {"u": env.rows[0]}, env.rows, ctx
+        )
+        assert result.key == 1
+
+    def test_empty_selection_semantics(self):
+        record = self.evaluate(
+            "function F(u) returns SELECT Count(*) AS c, Sum(health) AS s, "
+            "Min(health) AS lo, Avg(health) AS a FROM E e WHERE e.posx > 1000;"
+        )
+        assert record.c == 0 and record.s == 0
+        assert record.lo is None and record.a is None
+
+
+class TestActionEvaluation:
+    def test_apply_to_keyed_target(self):
+        env = make_env([(0, 0, 0, 0, 10), (1, 1, 1, 0, 8)])
+        parsed = parse_sql_function(
+            """
+            function Hit(u, target) returns
+            SELECT e.key, e.damage + 5 AS damage
+            FROM E e WHERE e.key = target;
+            """
+        )
+        ctx = make_ctx(env)
+        rows = apply_action_scan(
+            parsed.spec, {"u": env.rows[0], "target": 1}, ctx
+        )
+        assert len(rows) == 1
+        assert rows[0]["key"] == 1 and rows[0]["damage"] == 5
+
+    def test_no_match_produces_no_rows(self):
+        env = make_env([(0, 0, 0, 0, 10)])
+        parsed = parse_sql_function(
+            "function Hit(u, target) returns SELECT e.key, 1 AS damage "
+            "FROM E e WHERE e.key = target;"
+        )
+        rows = apply_action_scan(
+            parsed.spec, {"u": env.rows[0], "target": 99}, make_ctx(env)
+        )
+        assert rows == []
+
+    def test_area_action_hits_many(self):
+        env = make_env([(0, 0, 0, 0, 10), (1, 0, 1, 1, 8), (2, 0, 30, 30, 6)])
+        parsed = parse_sql_function(
+            """
+            function Blast(u) returns
+            SELECT e.key, e.damage + 2 AS damage
+            FROM E e
+            WHERE abs(u.posx - e.posx) <= 3 AND abs(u.posy - e.posy) <= 3;
+            """
+        )
+        rows = apply_action_scan(parsed.spec, {"u": env.rows[0]}, make_ctx(env))
+        assert sorted(r["key"] for r in rows) == [0, 1]

@@ -1,0 +1,102 @@
+"""Runtime values: Vec, Record, field access, NULL propagation."""
+
+import pytest
+
+from repro.sgl.errors import SglRuntimeError, SglTypeError
+from repro.sgl.values import Record, Vec, field_of
+
+
+class TestVec:
+    def test_componentwise_add_sub(self):
+        assert Vec([1, 2]) + Vec([3, 4]) == Vec([4, 6])
+        assert Vec([5, 5]) - Vec([2, 3]) == Vec([3, 2])
+
+    def test_scalar_mul_div(self):
+        assert Vec([1, 2]) * 3 == Vec([3, 6])
+        assert Vec([4, 8]) / 2 == Vec([2, 4])
+
+    def test_negation(self):
+        assert -Vec([1, -2]) == Vec([-1, 2])
+
+    def test_norm(self):
+        assert Vec([3, 4]).norm() == 5.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SglTypeError):
+            Vec([1]) + Vec([1, 2])
+
+    def test_scalar_add_rejected(self):
+        with pytest.raises(SglTypeError):
+            Vec([1, 2]) + 3
+
+    def test_hashable(self):
+        assert len({Vec([1, 2]), Vec([1, 2]), Vec([2, 1])}) == 2
+
+    def test_indexing_and_iteration(self):
+        vec = Vec([7, 9])
+        assert vec[1] == 9 and list(vec) == [7.0, 9.0]
+
+
+class TestRecord:
+    def test_field_access(self):
+        record = Record({"x": 1, "y": 2})
+        assert record.x == 1 and record.get("y") == 2
+
+    def test_missing_field(self):
+        with pytest.raises(SglRuntimeError):
+            Record({"x": 1}).get("z")
+
+    def test_immutable(self):
+        with pytest.raises(SglTypeError):
+            Record({"x": 1}).x = 5
+
+    def test_as_vec_numeric(self):
+        assert Record({"x": 1, "y": 2}).as_vec() == Vec([1, 2])
+
+    def test_as_vec_null_propagates(self):
+        # Figure 3's away_vector with no enemies in range
+        assert Record({"x": None, "y": None}).as_vec() is None
+
+    def test_as_vec_rejects_strings(self):
+        with pytest.raises(SglTypeError):
+            Record({"x": "knight", "y": 1}).as_vec()
+
+    def test_vec_minus_record(self):
+        assert Vec([5, 5]) - Record({"x": 2, "y": 1}) == Vec([3, 4])
+
+    def test_vec_minus_null_record_is_null(self):
+        assert Vec([5, 5]) - Record({"x": None, "y": None}) is None
+
+    def test_record_minus_vec(self):
+        assert Record({"x": 5, "y": 5}) - Vec([1, 2]) == Vec([4, 3])
+
+    def test_equality(self):
+        assert Record({"x": 1}) == Record({"x": 1})
+        assert Record({"x": 1}) != Record({"x": 2})
+
+
+class TestFieldOf:
+    def test_mapping(self):
+        assert field_of({"health": 9}, "health") == 9
+
+    def test_mapping_missing(self):
+        with pytest.raises(SglRuntimeError):
+            field_of({}, "health")
+
+    def test_record(self):
+        assert field_of(Record({"key": 3}), "key") == 3
+
+    def test_vec_xyz(self):
+        vec = Vec([1, 2])
+        assert field_of(vec, "x") == 1 and field_of(vec, "y") == 2
+
+    def test_vec_out_of_range(self):
+        with pytest.raises(SglRuntimeError):
+            field_of(Vec([1, 2]), "z")
+
+    def test_none_propagates(self):
+        assert field_of(None, "key") is None
+
+    def test_number_rejected(self):
+        with pytest.raises(SglTypeError):
+            field_of(42, "x")

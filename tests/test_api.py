@@ -1,0 +1,59 @@
+"""The public facade: compile, explain, run."""
+
+import pytest
+
+import repro
+from repro.api import compile_script, explain_script, run_battle
+from repro.game.scripts import FIGURE_3_SCRIPT, build_registry
+from repro.sgl.errors import SglNameError
+
+
+class TestCompileScript:
+    def test_valid(self, registry, schema):
+        script = compile_script(
+            "main(u) { perform UseWeapon(u) }", registry, schema
+        )
+        assert script.main.name == "main"
+
+    def test_invalid_rejected(self, registry):
+        with pytest.raises(SglNameError):
+            compile_script("main(u) { perform Nothing(u) }", registry)
+
+    def test_normalized_output(self, registry):
+        from repro.sgl.normalize import is_normal_form
+
+        script = compile_script(
+            "main(u) { if CountEnemiesInRange(u, 5) > 0 then "
+            "perform UseWeapon(u) }",
+            registry, normalize=True,
+        )
+        assert is_normal_form(script, registry)
+
+
+class TestExplainScript:
+    def test_figure_3(self):
+        result = explain_script(FIGURE_3_SCRIPT, build_registry())
+        assert "⊕" in result.plan
+        assert result.aggregate_kinds["CountEnemiesInRange"] == "divisible"
+        assert result.aggregate_kinds["NearestEnemy"] == "nearest"
+        assert "divisible" in str(result)
+
+
+class TestRunBattle:
+    def test_returns_summary(self):
+        summary = run_battle(30, ticks=3, mode="indexed", seed=1)
+        assert summary.ticks == 3
+        assert summary.total_time > 0
+
+    def test_naive_mode(self):
+        summary = run_battle(20, ticks=2, mode="naive", seed=1)
+        assert summary.ticks == 2
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
