@@ -4,6 +4,13 @@ Runs the paper's battle simulation (knights, archers, healers with d20
 mechanics) on the indexed engine, prints per-tick statistics, and shows
 the EXPLAIN output for the paper's Figure 3 script.
 
+The engine's per-tick index strategy is configurable via
+``index_maintenance``: ``"rebuild"`` (the paper's from-scratch default),
+``"incremental"`` (patch retained indexes with the tick's row delta),
+or ``"auto"`` (cost-based choice per tick).  All three are bit-identical
+in trajectory; ``benchmarks/bench_incremental.py`` sweeps where each
+wins.
+
     python examples/quickstart.py
 """
 
@@ -13,7 +20,10 @@ from repro.game.scripts import FIGURE_3_SCRIPT, build_registry
 
 def main() -> None:
     print("== A 500-unit battle on the indexed engine ==")
-    sim = BattleSimulation(500, mode="indexed", seed=7)
+    # index_maintenance="auto" lets the engine patch retained indexes
+    # with row deltas on quiet ticks and rebuild on busy ones
+    sim = BattleSimulation(500, mode="indexed", seed=7,
+                           index_maintenance="auto")
     print(f"grid: {sim.grid_size}x{sim.grid_size} "
           f"({len(sim.environment)} units at 1% density)")
 

@@ -15,6 +15,16 @@ The package implements the paper's full stack:
 * :mod:`repro.game`    -- the knights/archers/healers battle simulation
   with d20 mechanics (Section 3.2).
 
+Beyond the paper, the indexed engine supports delta-driven incremental
+index maintenance: pass ``index_maintenance="incremental"`` (always
+patch retained indexes with the tick's row delta) or ``"auto"``
+(cost-based per-tick choice) to :class:`EngineConfig`,
+:func:`run_battle`, or :class:`BattleSimulation` instead of the paper's
+per-tick ``"rebuild"`` default.  Trajectories are bit-identical across
+all three for games whose aggregate measures sum exactly in floating
+point (integer-valued measures, as in the battle simulation);
+``benchmarks/bench_incremental.py`` maps out where each wins.
+
 Quickstart::
 
     from repro import run_battle

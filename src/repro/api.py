@@ -101,7 +101,22 @@ class GameDefinition:
         seed: int = 0,
         optimize_aoe: bool = True,
         cascade: bool = True,
+        index_maintenance: str = "rebuild",
+        incremental_threshold: float = 0.25,
     ) -> SimulationEngine:
+        """Build a :class:`SimulationEngine` for this game definition.
+
+        *index_maintenance* selects the per-tick index strategy of the
+        indexed engine: ``"rebuild"`` discards and rebuilds every tick
+        (the paper's default), ``"incremental"`` patches retained
+        indexes with the captured row delta, and ``"auto"`` picks per
+        tick based on the changed-row fraction (threshold
+        *incremental_threshold*).  All strategies are bit-identical in
+        trajectory when aggregate measure sums are floating-point exact
+        (e.g. integer-valued measures); delta application sums in a
+        different order than a fresh build, so inexact float measures
+        may drift in final ulps.  Only wall-clock differs otherwise.
+        """
         scripts = self.scripts
         selector = self.script_selector
 
@@ -114,7 +129,12 @@ class GameDefinition:
             script_for,
             mechanics,
             EngineConfig(
-                mode=mode, optimize_aoe=optimize_aoe, cascade=cascade, seed=seed
+                mode=mode,
+                optimize_aoe=optimize_aoe,
+                cascade=cascade,
+                seed=seed,
+                index_maintenance=index_maintenance,
+                incremental_threshold=incremental_threshold,
             ),
         )
 
@@ -128,8 +148,18 @@ def run_battle(
     seed: int = 0,
     formation: str = "uniform",
     resurrection: bool = True,
+    index_maintenance: str = "rebuild",
+    incremental_threshold: float = 0.25,
 ) -> BattleSummary:
-    """One-call battle run; returns the summary with per-tick stats."""
+    """One-call battle run; returns the summary with per-tick stats.
+
+    *index_maintenance* (indexed mode only) chooses between per-tick
+    index rebuild (``"rebuild"``), delta-driven incremental maintenance
+    (``"incremental"``), and the per-tick cost-based choice (``"auto"``)
+    -- the battle's measures are integer-valued, so trajectories are
+    bit-identical either way.  *incremental_threshold* tunes the
+    ``"auto"`` crossover (changed-row fraction above which it rebuilds).
+    """
     sim = BattleSimulation(
         n_units,
         density=density,
@@ -137,5 +167,7 @@ def run_battle(
         seed=seed,
         formation=formation,
         resurrection=resurrection,
+        index_maintenance=index_maintenance,
+        incremental_threshold=incremental_threshold,
     )
     return sim.run(ticks)

@@ -2,9 +2,12 @@
 
 Each clock tick proceeds in the phases the paper's engine uses:
 
-1. **index build** -- the indexed evaluator resets and (lazily, on first
-   probe) rebuilds the aggregate indexes for this tick's environment;
-   sweep-line batches for hinted extreme aggregates are also built here;
+1. **index build** -- the indexed evaluator arms itself for this tick's
+   environment: by default it resets and (lazily, on first probe)
+   rebuilds the aggregate indexes; with ``index_maintenance`` set to
+   ``"incremental"``/``"auto"`` it instead patches the retained indexes
+   with the row delta captured at the end of the previous tick.
+   Sweep-line batches for hinted extreme aggregates are also built here;
 2. **decision** -- every unit executes its script; effect rows (and
    deferred AoE records) accumulate;
 3. **second index build + action** -- deferred area effects resolve
@@ -28,7 +31,7 @@ from typing import Callable, Mapping
 
 from ..algebra.shapes import ActionShape, classify_action
 from ..env.combine import combine_all
-from ..env.table import EnvironmentTable
+from ..env.table import EnvironmentTable, TableDelta, diff_by_key
 from ..sgl import ast
 from ..sgl.analysis import analyze_script
 from ..sgl.builtins import FunctionRegistry
@@ -40,6 +43,14 @@ from .rng import TickRandom
 
 #: Game mechanics hook: (combined environment, rng, tick) -> next environment.
 MechanicsFn = Callable[[EnvironmentTable, TickRandom, int], EnvironmentTable]
+
+#: Cap on cached compiled scripts.  A well-behaved ``script_for``
+#: returns a handful of stable Script objects and never trips this; one
+#: that builds a fresh Script per call would otherwise pin every one of
+#: them forever.  Oldest entries are evicted first (entries rebuild on
+#: demand, and scripts in flight this tick are kept alive by the
+#: per-tick grouping, so eviction can never serve a stale runner).
+_RUNNER_CACHE_MAX = 256
 
 
 @dataclass
@@ -55,14 +66,40 @@ class TickStats:
     combine_time: float
     mechanics_time: float
     total_time: float
+    #: Index upkeep: evaluator begin_tick (delta apply or cache reset)
+    #: plus post-mechanics change capture.  0.0 in naive mode.
+    maintenance_time: float = 0.0
 
 
 @dataclass
 class EngineConfig:
+    """Engine knobs (Section 6 plus the incremental-maintenance extension).
+
+    ``index_maintenance`` governs what happens to the aggregate indexes
+    between ticks (indexed mode only):
+
+    * ``"rebuild"`` (default) -- discard and rebuild from scratch every
+      tick, the paper's strategy for rapidly-changing data;
+    * ``"incremental"`` -- diff the environment across the tick and
+      patch the retained index structures with the row delta;
+    * ``"auto"`` -- cost-based: apply the delta while the changed-row
+      fraction stays at or below ``incremental_threshold``, otherwise
+      fall back to a full rebuild for that tick.
+
+    All three produce bit-identical trajectories whenever aggregate
+    measure sums are exact in floating point -- true for integer-valued
+    measures like the battle simulation's.  (Delta application sums
+    contributions in a different order than a fresh build, so float
+    measures with inexact sums may differ in final ulps between
+    policies.)  Only wall-clock differs otherwise.
+    """
+
     mode: str = "indexed"  # "indexed" | "naive"
     optimize_aoe: bool = True
     cascade: bool = True
     seed: int = 0
+    index_maintenance: str = "rebuild"  # "rebuild" | "incremental" | "auto"
+    incremental_threshold: float = 0.25
 
 
 class SimulationEngine:
@@ -88,6 +125,10 @@ class SimulationEngine:
         self.config = config or EngineConfig()
         if self.config.mode not in ("indexed", "naive"):
             raise ValueError(f"unknown engine mode {self.config.mode!r}")
+        if self.config.index_maintenance not in ("rebuild", "incremental", "auto"):
+            raise ValueError(
+                f"unknown index_maintenance {self.config.index_maintenance!r}"
+            )
         self.indexed = self.config.mode == "indexed"
         self.rng = TickRandom(self.config.seed)
         self.tick_count = 0
@@ -95,13 +136,29 @@ class SimulationEngine:
 
         if self.indexed:
             self.agg_eval = IndexedEvaluator(
-                registry, cascade=self.config.cascade, key_attr=env.schema.key
+                registry,
+                cascade=self.config.cascade,
+                key_attr=env.schema.key,
+                maintenance=self.config.index_maintenance,
+                incremental_threshold=self.config.incremental_threshold,
             )
         else:
             self.agg_eval = NaiveEvaluator()
 
-        self._runners: dict[int, DecisionRunner] = {}
-        self._hints: dict[int, list[CallHint]] = {}
+        # change capture feeds the evaluator's incremental maintenance;
+        # the delta diffed at the end of tick t is consumed at t+1
+        self._capture_deltas = (
+            self.indexed and self.config.index_maintenance != "rebuild"
+        )
+        self._pending_delta: TableDelta | None = None
+
+        # Cache keyed by id(script), holding the script itself: the
+        # strong reference pins the id for the cache's lifetime, so a
+        # recycled id of a garbage-collected script can never serve a
+        # stale runner or stale hints.
+        self._runners: dict[
+            int, tuple[ast.Script, DecisionRunner, list[CallHint]]
+        ] = {}
         self._action_shapes: dict[str, ActionShape] = {
             name: classify_action(fn.spec)
             for name, fn in registry.actions.items()
@@ -110,22 +167,27 @@ class SimulationEngine:
 
     # -- script compilation cache -------------------------------------------------
 
-    def _runner_for(self, script: ast.Script) -> DecisionRunner:
-        runner = self._runners.get(id(script))
-        if runner is None:
+    def _runner_for(
+        self, script: ast.Script
+    ) -> tuple[ast.Script, DecisionRunner, list[CallHint]]:
+        key = id(script)
+        entry = self._runners.pop(key, None)  # re-inserted below: LRU
+        if entry is None:
             runner = DecisionRunner(
                 script,
                 self.registry,
                 index_actions=self.indexed,
                 defer_aoe=self.indexed and self.config.optimize_aoe,
             )
-            self._runners[id(script)] = runner
             analysis = analyze_script(script, self.registry, self.env.schema)
             unit_params = {
                 fn.name: fn.params[0] for fn in script.functions.values()
             }
-            self._hints[id(script)] = collect_call_hints(analysis, unit_params)
-        return runner
+            entry = (script, runner, collect_call_hints(analysis, unit_params))
+            while len(self._runners) >= _RUNNER_CACHE_MAX:
+                self._runners.pop(next(iter(self._runners)))
+        self._runners[key] = entry
+        return entry
 
     # -- the tick loop --------------------------------------------------------------
 
@@ -142,14 +204,19 @@ class SimulationEngine:
             script = self.script_for(row)
             units_by_script.setdefault(id(script), (script, []))[1].append(row)
 
-        # phase 1: (re)arm the evaluator; pass sweep-batch hints
+        # phase 1: (re)arm the evaluator; pass sweep-batch hints.  With
+        # delta maintenance enabled this is where last tick's captured
+        # delta patches the retained indexes instead of discarding them.
+        maintenance_time = 0.0
         if self.indexed:
             hint_pairs = []
-            for script_id, (script, units) in units_by_script.items():
-                self._runner_for(script)  # ensure hints computed
-                for hint in self._hints[script_id]:
+            for script, units in units_by_script.values():
+                for hint in self._runner_for(script)[2]:
                     hint_pairs.append((hint, units))
-            self.agg_eval.begin_tick(env, hint_pairs)
+            t0 = time.perf_counter()
+            self.agg_eval.begin_tick(env, hint_pairs, delta=self._pending_delta)
+            maintenance_time += time.perf_counter() - t0
+            self._pending_delta = None
             by_key = env.by_key()
         else:
             by_key = None
@@ -172,8 +239,8 @@ class SimulationEngine:
                 unit=unit,
             )
 
-        for script_id, (script, units) in units_by_script.items():
-            runner = self._runner_for(script)
+        for script, units in units_by_script.values():
+            runner = self._runner_for(script)[1]
             for unit in units:
                 runner.run_unit(unit, ctx_factory, by_key, effect_rows, aoe_records)
         decision_time = time.perf_counter() - t0
@@ -204,6 +271,23 @@ class SimulationEngine:
         self.env = self.mechanics(combined, rng, self.tick_count)
         mechanics_time = time.perf_counter() - t0
 
+        # change capture: diff the post-mechanics environment against the
+        # tick-start snapshot (mechanics copies rows, so *env* still holds
+        # the pre-tick values).  Consumed by next tick's begin_tick.
+        if self._capture_deltas:
+            t0 = time.perf_counter()
+            # "auto" discards any delta above its threshold, so let the
+            # diff bail out early instead of completing a doomed one
+            cutoff = None
+            if self.config.index_maintenance == "auto":
+                cutoff = int(
+                    self.config.incremental_threshold * len(self.env)
+                )
+            self._pending_delta = diff_by_key(
+                env, self.env, max_changed=cutoff
+            )
+            maintenance_time += time.perf_counter() - t0
+
         stats = TickStats(
             tick=self.tick_count,
             units=len(env),
@@ -214,6 +298,7 @@ class SimulationEngine:
             combine_time=combine_time,
             mechanics_time=mechanics_time,
             total_time=time.perf_counter() - start,
+            maintenance_time=maintenance_time,
         )
         self.history.append(stats)
         return stats

@@ -16,6 +16,7 @@ The mixer is SplitMix64, chosen for quality-per-cycle in pure Python.
 
 from __future__ import annotations
 
+import struct
 from typing import Mapping
 
 _MASK = (1 << 64) - 1
@@ -30,15 +31,63 @@ def splitmix64(state: int) -> int:
     return z ^ (z >> 31)
 
 
+def _fold_bytes(data: bytes, state: int) -> int:
+    for chunk_start in range(0, len(data), 8):
+        word = int.from_bytes(data[chunk_start : chunk_start + 8], "little")
+        state = splitmix64(state ^ word)
+    return splitmix64(state ^ len(data))
+
+
+def stable_hash(key: object) -> int:
+    """A process-independent 64-bit hash of a unit key.
+
+    Python's builtin ``hash`` is salted per process for ``str`` (and
+    ``bytes``) keys, so it must never feed the deterministic random
+    stream.  This hash is a pure function of the key's value: ints map
+    through their two's-complement bits, strings through their UTF-8
+    bytes, floats through their IEEE-754 bits, and tuples fold their
+    elements -- all mixed with SplitMix64.
+    """
+    if isinstance(key, int):  # bool included: True/1 and False/0 agree,
+        if 0 <= key < (1 << 64):  # matching dict-key equality.  In this
+            return key            # range the identity is injective;
+        # negative or wider ints fold their full two's-complement bytes
+        # so keys congruent mod 2**64 do not share a stream
+        data = key.to_bytes(key.bit_length() // 8 + 1, "little", signed=True)
+        return _fold_bytes(data, 0x494E_5421)  # "INT!"
+    if isinstance(key, str):
+        return _fold_bytes(key.encode("utf-8"), 0x5354_5221)  # "STR!"
+    if isinstance(key, bytes):
+        return _fold_bytes(key, 0x4259_5445)  # "BYTE"
+    if isinstance(key, float):
+        if key.is_integer():  # match int/float key interchangeability
+            return stable_hash(int(key))
+        # non-integral, inf, and nan all hash via their IEEE-754 bits
+        return splitmix64(struct.unpack("<Q", struct.pack("<d", key))[0])
+    if isinstance(key, tuple):
+        state = 0x5455_504C  # "TUPL"
+        for item in key:
+            state = splitmix64(state ^ stable_hash(item))
+        return splitmix64(state ^ len(key))
+    raise TypeError(
+        f"unit key {key!r} of type {type(key).__name__} has no stable hash; "
+        "use int, str, bytes, float, or tuples thereof"
+    )
+
+
 class TickRandom:
     """The random function ``r : Env × N → N`` threaded through a tick."""
 
-    __slots__ = ("seed", "tick", "key_attr")
+    __slots__ = ("seed", "tick", "key_attr", "_key_hashes")
 
     def __init__(self, seed: int, tick: int = 0, key_attr: str = "key"):
         self.seed = seed & _MASK
         self.tick = tick
         self.key_attr = key_attr
+        # memoized stable_hash per key: unit keys repeat every draw of
+        # every tick, and the fold over str/tuple keys is pure Python.
+        # Bounded by the number of distinct keys the simulation uses.
+        self._key_hashes: dict[object, int] = {}
 
     def advance(self, tick: int | None = None) -> None:
         """Move to the next clock tick (Random values change between ticks)."""
@@ -46,9 +95,12 @@ class TickRandom:
 
     def __call__(self, row: Mapping[str, object], i: int) -> int:
         key = row[self.key_attr]
+        key_hash = self._key_hashes.get(key)
+        if key_hash is None:
+            key_hash = self._key_hashes[key] = stable_hash(key)
         state = self.seed
         state = splitmix64(state ^ (self.tick & _MASK))
-        state = splitmix64(state ^ (hash(key) & _MASK))
+        state = splitmix64(state ^ key_hash)
         return splitmix64(state ^ (i & _MASK))
 
     def uniform(self, row: Mapping[str, object], i: int, n: int) -> int:

@@ -58,10 +58,12 @@ def combine(table: EnvironmentTable) -> EnvironmentTable:
 
 
 def combine_pair(left: EnvironmentTable, right: EnvironmentTable) -> EnvironmentTable:
-    """``R ⊕ S`` -- shortcut for ``⊕(R ⊎ S)`` (Section 4.2)."""
-    if left.schema != right.schema:
-        raise SchemaError("⊕ requires identical schemas")
-    return combine(left.union(right))
+    """``R ⊕ S`` -- shortcut for ``⊕(R ⊎ S)`` (Section 4.2).
+
+    Implemented as the one-pass :func:`combine_all` so the multiset
+    union (which copies every row) is never materialised.
+    """
+    return combine_all([left, right], left.schema)
 
 
 def combine_all(tables: Iterable[EnvironmentTable], schema: Schema) -> EnvironmentTable:

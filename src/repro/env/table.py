@@ -15,6 +15,7 @@ damage effects stack), so equality comparison is multiset equality.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from .schema import Schema, SchemaError
@@ -120,11 +121,17 @@ class EnvironmentTable:
         return out
 
     def union(self, other: "EnvironmentTable") -> "EnvironmentTable":
-        """Multiset union ``⊎`` (UNION ALL)."""
+        """Multiset union ``⊎`` (UNION ALL).
+
+        Rows are copied: mutating a row of the result must never corrupt
+        either input table (``select`` is the only combinator that shares
+        rows, and says so).
+        """
         if other.schema != self.schema:
             raise SchemaError("union requires identical schemas")
         out = EnvironmentTable(self.schema)
-        out._rows = self._rows + other._rows
+        out._rows = [dict(r) for r in self._rows]
+        out._rows.extend(dict(r) for r in other._rows)
         return out
 
     def copy(self, *, deep: bool = True) -> "EnvironmentTable":
@@ -156,3 +163,91 @@ class EnvironmentTable:
 
     def __repr__(self) -> str:
         return f"EnvironmentTable({len(self._rows)} rows, {self.schema!r})"
+
+
+# ---------------------------------------------------------------------------
+# Change capture (incremental index maintenance)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TableDelta:
+    """Row-level difference between two keyed snapshots of ``E``.
+
+    Produced once per clock tick by :func:`diff_by_key`; consumed by the
+    indexed evaluator's incremental maintenance policy.  ``deleted`` and
+    the first element of each ``updated`` pair are rows of the *old*
+    table (exactly the objects the retained index structures hold), so
+    index deletion can locate them by value or identity.
+    """
+
+    inserted: list[dict[str, object]] = field(default_factory=list)
+    deleted: list[dict[str, object]] = field(default_factory=list)
+    #: ``(old_row, new_row)`` pairs sharing a key but differing in value.
+    updated: list[tuple[dict[str, object], dict[str, object]]] = field(
+        default_factory=list
+    )
+    #: Row count of the new table (denominator of :attr:`fraction`).
+    base_size: int = 0
+
+    @property
+    def changed(self) -> int:
+        return len(self.inserted) + len(self.deleted) + len(self.updated)
+
+    @property
+    def fraction(self) -> float:
+        """Changed rows as a fraction of the new table (1.0 when empty)."""
+        return self.changed / self.base_size if self.base_size else 1.0
+
+
+def diff_by_key(
+    old: EnvironmentTable,
+    new: EnvironmentTable,
+    *,
+    max_changed: int | None = None,
+) -> TableDelta | None:
+    """Diff two environment snapshots into inserted/deleted/updated rows.
+
+    Both tables must be keyed on ``schema.key`` with identical schemas;
+    returns ``None`` (caller falls back to a full rebuild) when either
+    holds duplicate keys, since a keyless multiset has no row identity
+    to maintain incrementally.
+
+    *max_changed* is an early-exit cutoff: once more than that many
+    changed rows are found the diff bails out with ``None``, so a
+    caller that would discard a too-large delta anyway (the ``"auto"``
+    policy above its threshold) does not pay for completing it.
+    """
+    if old.schema != new.schema:
+        return None
+    key = old.schema.key
+
+    old_by_key: dict[object, dict[str, object]] = {}
+    for row in old.rows:
+        old_by_key.setdefault(row[key], row)
+    if len(old_by_key) != len(old.rows):  # catches same-object duplicates too
+        return None
+    delta = TableDelta(base_size=len(new))
+    budget = len(new) + len(old) if max_changed is None else max_changed
+
+    seen = set()
+    for row in new.rows:
+        k = row[key]
+        if k in seen:
+            return None
+        seen.add(k)
+        old_row = old_by_key.get(k)
+        if old_row is None:
+            delta.inserted.append(row)
+        elif old_row != row:
+            delta.updated.append((old_row, row))
+        else:
+            continue
+        if delta.changed > budget:
+            return None
+    for k, old_row in old_by_key.items():
+        if k not in seen:
+            delta.deleted.append(old_row)
+            if delta.changed > budget:
+                return None
+    return delta

@@ -56,6 +56,15 @@ class BattleSimulation:
     resurrection:
         Keep the population constant by resurrecting the dead (on for
         benchmarks, off for gameplay-style examples).
+    index_maintenance:
+        ``"rebuild"`` (per-tick from-scratch, the paper's default),
+        ``"incremental"`` (patch retained indexes with the row delta),
+        or ``"auto"`` (cost-based choice per tick).  The battle's
+        measures are all integer-valued, so trajectories are
+        bit-identical in all three.
+    incremental_threshold:
+        Changed-row fraction above which ``"auto"`` rebuilds instead of
+        applying the delta (default 0.25).
     """
 
     def __init__(
@@ -70,6 +79,8 @@ class BattleSimulation:
         resurrection: bool = True,
         optimize_aoe: bool = True,
         cascade: bool = True,
+        index_maintenance: str = "rebuild",
+        incremental_threshold: float = 0.25,
     ):
         self.schema = battle_schema()
         make = uniform_battle if formation == "uniform" else two_army_battle
@@ -103,6 +114,8 @@ class BattleSimulation:
                 optimize_aoe=optimize_aoe,
                 cascade=cascade,
                 seed=seed,
+                index_maintenance=index_maintenance,
+                incremental_threshold=incremental_threshold,
             ),
         )
 

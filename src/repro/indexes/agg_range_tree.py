@@ -17,6 +17,14 @@ with a list of aggregate tuples").
 
 :class:`PrefixAggregate1D` is the degenerate one-dimensional case used
 when only one continuous attribute is constrained.
+
+Both structures also support **incremental maintenance**: ``insert`` /
+``delete`` record changed elements in a small delta overlay that every
+query folds in (add inserted-in-range, subtract deleted-in-range --
+exact because moments form a group under merge/subtract).  The static
+tree is never restructured; once the overlay outgrows the per-structure
+budget the maintenance policy in the indexed evaluator rebuilds from
+scratch, which is the paper's default anyway.
 """
 
 from __future__ import annotations
@@ -25,6 +33,53 @@ from bisect import bisect_left, bisect_right
 from typing import Sequence
 
 from .divisible import Moments
+
+
+class _DeltaOverlay:
+    """Pending insert/delete entries with exact cancellation.
+
+    Shared by the 1-d and 2-d structures.  An entry is a tuple ending
+    in its measure-value tuple, mapped to a signed multiplicity (inserts
+    minus deletes) so cancellation is O(1) -- oscillating elements
+    leave no residue and high-churn ticks stay linear in the delta.
+    ``fold`` applies the in-range entries to running (count, sums,
+    sumsqs) accumulators -- exact because moments form a group.
+    """
+
+    __slots__ = ("entries", "size")
+
+    def __init__(self):
+        self.entries: dict[tuple, int] = {}  # entry -> signed multiplicity
+        self.size = 0  # Σ |multiplicity|: live entries queries must scan
+
+    def __len__(self) -> int:
+        return self.size
+
+    def _shift(self, entry: tuple, sign: int) -> None:
+        count = self.entries.get(entry, 0)
+        updated = count + sign
+        self.size += abs(updated) - abs(count)
+        if updated:
+            self.entries[entry] = updated
+        else:
+            del self.entries[entry]
+
+    def insert(self, entry: tuple) -> None:
+        self._shift(entry, 1)
+
+    def delete(self, entry: tuple) -> None:
+        self._shift(entry, -1)
+
+    def fold(self, count, sums, sumsqs, width, contains) -> int:
+        for entry, multiplicity in self.entries.items():
+            if contains(entry):
+                count += multiplicity
+                vals = entry[-1]
+                for m in range(width):
+                    v = vals[m]
+                    sums[m] += multiplicity * v
+                    sumsqs[m] += multiplicity * v * v
+        return count
 
 
 class _ANode:
@@ -69,6 +124,7 @@ class AggRangeTree2D:
         values: Sequence[Sequence[float]] | None = None,
         *,
         cascade: bool = True,
+        width: int | None = None,
     ):
         n = len(points)
         if values is None:
@@ -76,7 +132,7 @@ class AggRangeTree2D:
         if len(values) != n:
             raise ValueError("points and values must have equal length")
         self.cascade = cascade
-        self.width = len(values[0]) if n else 0
+        self.width = width if width is not None else (len(values[0]) if n else 0)
         self._size = n
         entries = sorted(
             (
@@ -86,9 +142,47 @@ class AggRangeTree2D:
             key=lambda e: e[0],
         )
         self._root = self._build(entries) if entries else None
+        # delta overlay of (x, y, values) triples since build
+        self._overlay = _DeltaOverlay()
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def overlay_size(self) -> int:
+        """Number of pending delta entries (queries scan these linearly)."""
+        return len(self._overlay)
+
+    # -- incremental maintenance --------------------------------------------------
+
+    def _entry(
+        self, point: tuple[float, float], values: Sequence[float]
+    ) -> tuple[float, float, tuple[float, ...]]:
+        entry = (
+            float(point[0]),
+            float(point[1]),
+            tuple(float(v) for v in values),
+        )
+        if len(entry[2]) != self.width:
+            raise ValueError(f"expected {self.width} measures, got {len(entry[2])}")
+        return entry
+
+    def insert(self, point: tuple[float, float], values: Sequence[float] = ()) -> None:
+        self._overlay.insert(self._entry(point, values))
+        self._size += 1
+
+    def delete(self, point: tuple[float, float], values: Sequence[float] = ()) -> None:
+        """Remove one element previously built-in or inserted.
+
+        The overlay cannot verify per-element membership against the
+        static tree (it stores prefix aggregates, not elements), so a
+        wrong (point, values) pair is the caller's bug; the size
+        invariant at least fails loudly on gross over-deletion.
+        """
+        self._overlay.delete(self._entry(point, values))
+        self._size -= 1
+        if self._size < 0:
+            raise ValueError("deleted more elements than the tree holds")
 
     # -- construction -----------------------------------------------------------
 
@@ -173,6 +267,10 @@ class AggRangeTree2D:
                 sumsqs[m] += node.psumsq[m][phi] - node.psumsq[m][plo]
 
         self._visit(xlo, xhi, ylo, yhi, report)
+        counts = self._overlay.fold(
+            counts, sums, sumsqs, self.width,
+            lambda e: xlo <= e[0] <= xhi and ylo <= e[1] <= yhi,
+        )
         if self.width == 0:
             return (Moments(counts, 0.0, 0.0),)
         return tuple(
@@ -223,6 +321,8 @@ class PrefixAggregate1D:
         self,
         keys: Sequence[float],
         values: Sequence[Sequence[float]] | None = None,
+        *,
+        width: int | None = None,
     ):
         n = len(keys)
         if values is None:
@@ -231,7 +331,7 @@ class PrefixAggregate1D:
             raise ValueError("keys and values must have equal length")
         order = sorted(range(n), key=lambda i: keys[i])
         self.keys = [float(keys[i]) for i in order]
-        self.width = len(values[0]) if n else 0
+        self.width = width if width is not None else (len(values[0]) if n else 0)
         self._psum = [[0.0] * (n + 1) for _ in range(self.width)]
         self._psumsq = [[0.0] * (n + 1) for _ in range(self.width)]
         for pos, i in enumerate(order):
@@ -239,23 +339,55 @@ class PrefixAggregate1D:
                 v = float(values[i][m])
                 self._psum[m][pos + 1] = self._psum[m][pos] + v
                 self._psumsq[m][pos + 1] = self._psumsq[m][pos] + v * v
+        self._size = n
+        # delta overlay of (key, values) pairs since build
+        self._overlay = _DeltaOverlay()
 
     def __len__(self) -> int:
-        return len(self.keys)
+        return self._size
+
+    @property
+    def overlay_size(self) -> int:
+        return len(self._overlay)
+
+    # -- incremental maintenance --------------------------------------------------
+
+    def _entry(
+        self, key: float, values: Sequence[float]
+    ) -> tuple[float, tuple[float, ...]]:
+        entry = (float(key), tuple(float(v) for v in values))
+        if len(entry[1]) != self.width:
+            raise ValueError(f"expected {self.width} measures, got {len(entry[1])}")
+        return entry
+
+    def insert(self, key: float, values: Sequence[float] = ()) -> None:
+        self._overlay.insert(self._entry(key, values))
+        self._size += 1
+
+    def delete(self, key: float, values: Sequence[float] = ()) -> None:
+        self._overlay.delete(self._entry(key, values))
+        self._size -= 1
+        if self._size < 0:
+            raise ValueError("deleted more elements than the structure holds")
+
+    # -- queries ------------------------------------------------------------------
 
     def query(self, lo: float, hi: float) -> tuple[Moments, ...]:
         start = bisect_left(self.keys, lo)
         stop = bisect_right(self.keys, hi)
         count = max(stop - start, 0)
+        sums = [self._psum[m][stop] - self._psum[m][start] for m in range(self.width)]
+        sumsqs = [
+            self._psumsq[m][stop] - self._psumsq[m][start]
+            for m in range(self.width)
+        ]
+        count = self._overlay.fold(
+            count, sums, sumsqs, self.width, lambda e: lo <= e[0] <= hi
+        )
         if self.width == 0:
             return (Moments(count, 0.0, 0.0),)
         return tuple(
-            Moments(
-                count,
-                self._psum[m][stop] - self._psum[m][start],
-                self._psumsq[m][stop] - self._psumsq[m][start],
-            )
-            for m in range(self.width)
+            Moments(count, sums[m], sumsqs[m]) for m in range(self.width)
         )
 
     def count(self, lo: float, hi: float) -> int:

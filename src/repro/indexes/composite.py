@@ -78,6 +78,7 @@ class GroupAggIndex:
                 "use the general RangeTree for more"
             )
         self.range_attrs = range_attrs
+        self._measures = list(measures)
         self.width = len(measures)
         values = [tuple(m(row) for m in measures) for row in rows]
         if not range_attrs:
@@ -93,7 +94,9 @@ class GroupAggIndex:
         elif len(range_attrs) == 1:
             attr = range_attrs[0]
             self._index = PrefixAggregate1D(
-                [row[attr] for row in rows], values if measures else None
+                [row[attr] for row in rows],
+                values if measures else None,
+                width=self.width,
             )
         else:
             ax, ay = range_attrs
@@ -101,7 +104,61 @@ class GroupAggIndex:
                 [(row[ax], row[ay]) for row in rows],
                 values if measures else None,
                 cascade=cascade,
+                width=self.width,
             )
+
+    # -- incremental maintenance --------------------------------------------------
+
+    def values_of(self, row: Row) -> tuple[float, ...]:
+        """The row's measure-value tuple (pass to insert/delete to avoid
+        re-evaluating the compiled measure functions)."""
+        return tuple(m(row) for m in self._measures)
+
+    def insert(self, row: Row, values: tuple[float, ...] | None = None) -> None:
+        """Fold one new row into the group's aggregate state."""
+        if values is None:
+            values = self.values_of(row)
+        if not self.range_attrs:
+            if self._measures:
+                for moment, v in zip(self._total, values):
+                    moment.add(v)
+            else:
+                self._total[0].count += 1
+        elif len(self.range_attrs) == 1:
+            self._index.insert(row[self.range_attrs[0]], values)
+        else:
+            ax, ay = self.range_attrs
+            self._index.insert((row[ax], row[ay]), values)
+
+    def delete(self, row: Row, values: tuple[float, ...] | None = None) -> None:
+        """Remove one row's contribution (moments are invertible)."""
+        if values is None:
+            values = self.values_of(row)
+        if not self.range_attrs:
+            if self._measures:
+                for moment, v in zip(self._total, values):
+                    moment.remove(v)
+            else:
+                self._total[0].count -= 1
+        elif len(self.range_attrs) == 1:
+            self._index.delete(row[self.range_attrs[0]], values)
+        else:
+            ax, ay = self.range_attrs
+            self._index.delete((row[ax], row[ay]), values)
+
+    @property
+    def overlay_size(self) -> int:
+        """Live delta entries pending in the underlying structure.
+
+        Zero-dimensional groups fold every change into their totals with
+        no residue, so their overlay is always empty.  Cancelled
+        insert/delete pairs (a unit oscillating between two cells) also
+        leave no residue, which is why the maintenance policy gauges
+        this instead of a cumulative mutation count.
+        """
+        if not self.range_attrs:
+            return 0
+        return self._index.overlay_size
 
     def query(self, bounds: Sequence[tuple[float, float]]) -> tuple[Moments, ...]:
         if len(bounds) != len(self.range_attrs):

@@ -41,6 +41,12 @@ class Moments:
         self.total += value
         self.total_sq += value * value
 
+    def remove(self, value: float) -> None:
+        """Inverse of :meth:`add` -- the element-wise divisibility op."""
+        self.count -= 1
+        self.total -= value
+        self.total_sq -= value * value
+
     def merge(self, other: "Moments") -> "Moments":
         return Moments(
             self.count + other.count,

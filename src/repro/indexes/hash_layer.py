@@ -11,6 +11,14 @@ top, giving us a total of 6 range trees".
 attributes and builds one sub-index per group through a caller-supplied
 factory.  Probing with a category tuple returns the sub-index (or
 ``None`` for an empty group).
+
+The hash layer is also the routing point for incremental maintenance:
+:meth:`insert` / :meth:`delete` / :meth:`update` dispatch a changed row
+to its category group (creating the group on first insert, dropping it
+when the last row leaves, re-routing updates whose categorical values
+moved) and delegate the per-row work to ``row_insert`` / ``row_delete``
+adapters, since only the caller knows how its sub-index ingests a row.
+Plain ``list`` sub-indexes need no adapters.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Generic, Hashable, Iterable, Mapping, TypeVar
 
 SubIndex = TypeVar("SubIndex")
+Row = Mapping[str, object]
 
 
 class PartitionedIndex(Generic[SubIndex]):
@@ -30,12 +39,22 @@ class PartitionedIndex(Generic[SubIndex]):
 
     def __init__(
         self,
-        rows: Iterable[Mapping[str, object]],
+        rows: Iterable[Row],
         attrs: tuple[str, ...],
-        factory: Callable[[list[Mapping[str, object]]], SubIndex],
+        factory: Callable[[list[Row]], SubIndex],
+        *,
+        row_insert: Callable[[SubIndex, Row], None] | None = None,
+        row_delete: Callable[[SubIndex, Row], None] | None = None,
     ):
         self.attrs = attrs
-        groups: dict[tuple[Hashable, ...], list[Mapping[str, object]]] = {}
+        self._factory = factory
+        self._row_insert = row_insert
+        self._row_delete = row_delete
+        #: insert/delete operations since construction; the maintenance
+        #: policy compares this against the index size to decide when
+        #: accumulated overlay/tombstone weight warrants a full rebuild.
+        self.mutations = 0
+        groups: dict[tuple[Hashable, ...], list[Row]] = {}
         if attrs:
             for row in rows:
                 key = tuple(row[a] for a in attrs)
@@ -60,3 +79,62 @@ class PartitionedIndex(Generic[SubIndex]):
 
     def __len__(self) -> int:
         return sum(self._sizes.values())
+
+    # -- incremental maintenance --------------------------------------------------
+
+    def _cat_key(self, row: Row) -> tuple[Hashable, ...]:
+        return tuple(row[a] for a in self.attrs)
+
+    def _sub_insert(self, sub: SubIndex, row: Row) -> None:
+        if self._row_insert is not None:
+            self._row_insert(sub, row)
+        elif isinstance(sub, list):
+            sub.append(row)
+        else:
+            raise TypeError(
+                f"no row_insert adapter for sub-index {type(sub).__name__}"
+            )
+
+    def _sub_delete(self, sub: SubIndex, row: Row) -> None:
+        if self._row_delete is not None:
+            self._row_delete(sub, row)
+        elif isinstance(sub, list):
+            sub.remove(row)  # value equality finds the stored row
+        else:
+            raise TypeError(
+                f"no row_delete adapter for sub-index {type(sub).__name__}"
+            )
+
+    def insert(self, row: Row) -> None:
+        """Route *row* into its category group, creating it if new."""
+        key = self._cat_key(row)
+        sub = self._indexes.get(key)
+        if sub is None:
+            sub = self._factory([])
+            self._indexes[key] = sub
+            self._sizes[key] = 0
+        self._sub_insert(sub, row)
+        self._sizes[key] += 1
+        self.mutations += 1
+
+    def delete(self, row: Row) -> None:
+        """Remove *row* from its group; drop the group when it empties.
+
+        Dropping empty groups keeps probe semantics identical to a fresh
+        build, where a category with no rows has no group at all.
+        """
+        key = self._cat_key(row)
+        sub = self._indexes.get(key)
+        if sub is None:
+            raise KeyError(f"no group {key!r} to delete from")
+        self._sub_delete(sub, row)
+        self._sizes[key] -= 1
+        if self._sizes[key] <= 0:
+            del self._indexes[key]
+            del self._sizes[key]
+        self.mutations += 1
+
+    def update(self, old_row: Row, new_row: Row) -> None:
+        """Re-index a changed row, re-routing it if its category moved."""
+        self.delete(old_row)
+        self.insert(new_row)

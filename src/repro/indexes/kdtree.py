@@ -1,9 +1,15 @@
 """kD-tree for nearest-neighbour spatial aggregates (Section 5.3.2).
 
 "An efficient way to find the nearest unit is to use a kD-tree [4]."
-The tree is static (rebuilt each tick like every other index, per the
-paper's observation that per-tick rebuild beats dynamic maintenance for
-rapidly-moving data) and built by median splitting, alternating axes.
+The tree is built by median splitting, alternating axes.  The bulk
+build is static (the paper's per-tick-rebuild default), but the tree
+also supports incremental maintenance for the low-update-rate regime:
+:meth:`insert` attaches standard dynamic leaves, :meth:`delete`
+tombstones nodes in place (tombstoned points still partition space, so
+search stays correct), and :meth:`replace_item` swaps a node's payload
+when only non-spatial attributes changed.  Heavy churn degrades balance
+and leaves dead weight, so the evaluator's maintenance policy rebuilds
+once the mutation count outgrows its budget.
 
 Queries:
 
@@ -21,7 +27,7 @@ from typing import Callable, Iterable, Sequence
 
 
 class _Node:
-    __slots__ = ("point", "item", "axis", "left", "right")
+    __slots__ = ("point", "item", "axis", "left", "right", "deleted")
 
     def __init__(self, point, item, axis):
         self.point = point
@@ -29,6 +35,7 @@ class _Node:
         self.axis = axis
         self.left: "_Node | None" = None
         self.right: "_Node | None" = None
+        self.deleted = False
 
 
 class KDTree:
@@ -64,6 +71,87 @@ class KDTree:
         node.right = self._build(entries[mid + 1 :], depth + 1)
         return node
 
+    # -- incremental maintenance --------------------------------------------------
+
+    def insert(self, point: Sequence[float], item: object) -> None:
+        """Attach ``(point, item)`` as a new leaf (standard dynamic insert).
+
+        No rebalancing: repeated inserts can skew the tree, which hurts
+        search time but never correctness; the maintenance policy
+        rebuilds once mutations outgrow the structure.
+        """
+        point = tuple(point)
+        self._size += 1
+        if self._root is None:
+            self._root = _Node(point, item, 0)
+            return
+        node = self._root
+        depth = 0
+        while True:
+            depth += 1
+            if point[node.axis] - node.point[node.axis] <= 0:
+                if node.left is None:
+                    node.left = _Node(point, item, depth % self.dims)
+                    return
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _Node(point, item, depth % self.dims)
+                    return
+                node = node.right
+
+    def delete(
+        self, point: Sequence[float], match: Callable[[object], bool]
+    ) -> bool:
+        """Tombstone the node at *point* whose item satisfies *match*.
+
+        The node keeps partitioning space for descent but is skipped as
+        a query candidate.  Returns whether a live matching node was
+        found.  Both sides of a split must be searched on coordinate
+        ties, since the bulk build puts equal coordinates on either
+        side of the median.
+        """
+        found = self._find(self._root, tuple(point), match)
+        if found is None:
+            return False
+        found.deleted = True
+        found.item = None  # drop the payload reference eagerly
+        self._size -= 1
+        return True
+
+    def replace_item(
+        self, point: Sequence[float], match: Callable[[object], bool], item: object
+    ) -> bool:
+        """Swap the payload of the live node at *point* matching *match*.
+
+        The O(log n) path for updates that leave coordinates unchanged
+        (a unit that stood still but lost health): no tombstone, no new
+        leaf, just the fresh row object in place of the stale one.
+        """
+        found = self._find(self._root, tuple(point), match)
+        if found is None:
+            return False
+        found.item = item
+        return True
+
+    def _find(self, node: _Node | None, point, match) -> _Node | None:
+        # iterative (see _nearest)
+        stack = [node]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if node.point == point and not node.deleted and match(node.item):
+                return node
+            delta = point[node.axis] - node.point[node.axis]
+            if delta <= 0:
+                if delta == 0:
+                    stack.append(node.right)
+                stack.append(node.left)
+            else:
+                stack.append(node.right)
+        return None
+
     # -- nearest neighbour -------------------------------------------------------
 
     def nearest(
@@ -90,27 +178,41 @@ class KDTree:
         return best[0], best[1]
 
     def _nearest(self, node: _Node | None, probe, exclude, tie_key, best) -> None:
-        if node is None:
-            return
-        # explicit products: bit-identical to the scan evaluator's
-        # (e.x - cx)*(e.x - cx) + (e.y - cy)*(e.y - cy)
-        dist_sq = 0.0
-        for a, b in zip(node.point, probe):
-            d = a - b
-            dist_sq += d * d
-        if dist_sq <= best[1] and (exclude is None or not exclude(node.item)):
-            better = dist_sq < best[1] or best[0] is None
-            if not better and tie_key is not None and dist_sq == best[1]:
-                better = tie_key(node.item) < best[2]
-            if better:
-                best[0], best[1] = node.item, dist_sq
-                best[2] = tie_key(node.item) if tie_key is not None else None
-        axis = node.axis
-        delta = probe[axis] - node.point[axis]
-        near, far = (node.left, node.right) if delta <= 0 else (node.right, node.left)
-        self._nearest(near, probe, exclude, tie_key, best)
-        if delta * delta <= best[1]:
-            self._nearest(far, probe, exclude, tie_key, best)
+        # iterative traversal with an explicit stack: dynamic inserts can
+        # chain into deep unbalanced paths, which must degrade search
+        # time only -- never blow the interpreter's recursion limit.
+        # Each stack entry carries the split-distance bound under which
+        # the subtree was deferred; re-checked at pop so pruning matches
+        # the recursive near-first formulation.
+        stack: list = [(node, 0.0)]
+        while stack:
+            node, bound = stack.pop()
+            if node is None or bound > best[1]:
+                continue
+            # explicit products: bit-identical to the scan evaluator's
+            # (e.x - cx)*(e.x - cx) + (e.y - cy)*(e.y - cy)
+            dist_sq = 0.0
+            for a, b in zip(node.point, probe):
+                d = a - b
+                dist_sq += d * d
+            if (
+                not node.deleted
+                and dist_sq <= best[1]
+                and (exclude is None or not exclude(node.item))
+            ):
+                better = dist_sq < best[1] or best[0] is None
+                if not better and tie_key is not None and dist_sq == best[1]:
+                    better = tie_key(node.item) < best[2]
+                if better:
+                    best[0], best[1] = node.item, dist_sq
+                    best[2] = tie_key(node.item) if tie_key is not None else None
+            axis = node.axis
+            delta = probe[axis] - node.point[axis]
+            near, far = (
+                (node.left, node.right) if delta <= 0 else (node.right, node.left)
+            )
+            stack.append((far, delta * delta))
+            stack.append((near, 0.0))  # popped first: near side explored fully
 
     # -- radius search -------------------------------------------------------------
 
@@ -124,19 +226,24 @@ class KDTree:
         return out
 
     def _within(self, node: _Node | None, probe, radius, radius_sq, out) -> None:
-        if node is None:
-            return
-        dist_sq = 0.0
-        for a, b in zip(node.point, probe):
-            d = a - b
-            dist_sq += d * d
-        if dist_sq <= radius_sq:
-            out.append((node.item, dist_sq))
-        delta = probe[node.axis] - node.point[node.axis]
-        if delta <= radius:
-            self._within(node.left, probe, radius, radius_sq, out)
-        if -delta <= radius:
-            self._within(node.right, probe, radius, radius_sq, out)
+        # iterative (see _nearest); pushes right-then-left so results
+        # arrive in the same depth-first preorder as the old recursion
+        stack = [node]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            dist_sq = 0.0
+            for a, b in zip(node.point, probe):
+                d = a - b
+                dist_sq += d * d
+            if dist_sq <= radius_sq and not node.deleted:
+                out.append((node.item, dist_sq))
+            delta = probe[node.axis] - node.point[node.axis]
+            if -delta <= radius:
+                stack.append(node.right)
+            if delta <= radius:
+                stack.append(node.left)
 
 
 def build_kdtree_from_rows(

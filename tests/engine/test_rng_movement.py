@@ -1,7 +1,13 @@
 """Deterministic randomness (Section 4.1) and the grid movement phase."""
 
+import os
+import subprocess
+import sys
+
+import pytest
+
 from repro.engine.movement import Grid, desired_direction, run_movement_phase
-from repro.engine.rng import TickRandom, splitmix64
+from repro.engine.rng import TickRandom, splitmix64, stable_hash
 
 
 class TestTickRandom:
@@ -47,6 +53,88 @@ class TestTickRandom:
     def test_nonnegative(self):
         rng = TickRandom(seed=9, tick=4)
         assert all(rng({"key": k}, 0) >= 0 for k in range(20))
+
+
+class TestStableKeyHash:
+    """Regression: unit keys must hash identically in every process.
+
+    The stream used to go through Python's builtin ``hash()``, which is
+    salted per process for str/bytes keys -- string-keyed simulations
+    were not reproducible across processes, contradicting the module's
+    determinism contract.  These values are pinned forever; changing
+    them silently breaks replayability of recorded simulations.
+    """
+
+    def test_pinned_values(self):
+        rng = TickRandom(seed=42, tick=3)
+        assert rng({"key": 7}, 1) == 11609427158010682529
+        assert rng({"key": "knight-07"}, 1) == 15738241415071403343
+        assert rng({"key": ("a", 3)}, 2) == 9767974576443231948
+
+    def test_pinned_stable_hash(self):
+        assert stable_hash("epic") == 2273434926276851718
+        assert stable_hash(b"epic") == 7454095844929570242
+        assert stable_hash(7) == 7
+        assert stable_hash(("a", 3)) == 6178579289402711412
+
+    def test_int_and_integral_float_keys_agree(self):
+        assert stable_hash(7.0) == stable_hash(7)
+        assert stable_hash(2.5) != stable_hash(2)
+        # bool is an int subtype; agree with dict-key equality
+        assert stable_hash(True) == stable_hash(1)
+
+    def test_wide_int_keys_do_not_collide_mod_2_64(self):
+        # 128-bit keys (UUID ints) must not alias keys 2**64 apart
+        k = 0x1234_5678_9ABC_DEF0
+        assert stable_hash(k + (1 << 64)) != stable_hash(k)
+        assert stable_hash(-1) != stable_hash((1 << 64) - 1)
+        assert stable_hash(-5) == stable_hash(-5)
+        assert stable_hash(float(1 << 70)) == stable_hash(1 << 70)
+
+    def test_nonfinite_float_keys_hash(self):
+        # inf/nan must hash deterministically via their bit patterns,
+        # not crash in int() conversion
+        inf = float("inf")
+        assert stable_hash(inf) == stable_hash(inf)
+        assert stable_hash(-inf) != stable_hash(inf)
+        assert isinstance(stable_hash(float("nan")), int)
+
+    def test_key_hash_memo_consistent(self):
+        rng = TickRandom(seed=3, tick=2)
+        first = rng({"key": "memoized"}, 1)
+        assert rng({"key": "memoized"}, 1) == first
+        assert rng._key_hashes["memoized"] == stable_hash("memoized")
+
+    def test_string_keys_differ(self):
+        rng = TickRandom(seed=1, tick=1)
+        assert rng({"key": "a"}, 0) != rng({"key": "b"}, 0)
+
+    def test_unhashable_key_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash(["list", "key"])
+
+    def test_string_keys_reproducible_across_hash_seeds(self):
+        """Same TickRandom outputs under different PYTHONHASHSEED."""
+        program = (
+            "from repro.engine.rng import TickRandom\n"
+            "rng = TickRandom(seed=99, tick=5)\n"
+            "print([rng({'key': f'unit-{k}'}, i)"
+            " for k in range(4) for i in range(3)])\n"
+        )
+        outputs = []
+        for hash_seed in ("1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True, text=True, env=env,
+                cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+                check=True,
+            )
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
 
 
 class TestDesiredDirection:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.env.schema import Attribute, AttributeType, Schema, SchemaError
-from repro.env.table import EnvironmentTable
+from repro.env.table import EnvironmentTable, TableDelta, diff_by_key
 
 
 @pytest.fixture()
@@ -89,6 +89,73 @@ class TestAlgebraPrimitives:
         other = Schema([Attribute("key", AttributeType.CONST)])
         with pytest.raises(SchemaError):
             EnvironmentTable(schema).union(EnvironmentTable(other))
+
+    def test_union_does_not_alias_source_rows(self, schema):
+        # regression: mutating a union result row used to corrupt the
+        # source tables, because union shared the row dicts
+        a = EnvironmentTable(schema, [row(1)])
+        b = EnvironmentTable(schema, [row(2)])
+        merged = a.union(b)
+        merged.rows[0]["damage"] = 99
+        merged.rows[1]["damage"] = 99
+        assert a.rows[0]["damage"] == 0
+        assert b.rows[0]["damage"] == 0
+
+
+class TestDiffByKey:
+    def test_empty_diff(self, schema):
+        a = EnvironmentTable(schema, [row(1), row(2)])
+        b = EnvironmentTable(schema, [row(2), row(1)])
+        delta = diff_by_key(a, b)
+        assert isinstance(delta, TableDelta)
+        assert delta.changed == 0
+        assert delta.fraction == 0.0
+
+    def test_insert_delete_update(self, schema):
+        a = EnvironmentTable(schema, [row(1), row(2), row(3)])
+        b = EnvironmentTable(schema, [row(2, damage=5), row(3), row(4)])
+        delta = diff_by_key(a, b)
+        assert [r["key"] for r in delta.inserted] == [4]
+        assert [r["key"] for r in delta.deleted] == [1]
+        assert [(o["key"], n["damage"]) for o, n in delta.updated] == [(2, 5)]
+        assert delta.changed == 3
+        assert delta.fraction == 3 / 3
+
+    def test_updated_pairs_reference_source_objects(self, schema):
+        a = EnvironmentTable(schema, [row(1)])
+        b = EnvironmentTable(schema, [row(1, pos=9)])
+        delta = diff_by_key(a, b)
+        old, new = delta.updated[0]
+        assert old is a.rows[0]
+        assert new is b.rows[0]
+
+    def test_duplicate_keys_return_none(self, schema):
+        dup = EnvironmentTable(schema, [row(1), row(1)])
+        keyed = EnvironmentTable(schema, [row(1)])
+        assert diff_by_key(dup, keyed) is None
+        assert diff_by_key(keyed, dup) is None
+
+    def test_same_object_duplicate_returns_none(self, schema):
+        # the duplicate may literally be the same dict appended twice
+        shared = row(1)
+        dup = EnvironmentTable(schema)
+        dup.rows.extend([shared, shared])
+        keyed = EnvironmentTable(schema, [row(1)])
+        assert diff_by_key(dup, keyed) is None
+
+    def test_schema_mismatch_returns_none(self, schema):
+        other = Schema([Attribute("key", AttributeType.CONST)])
+        assert (
+            diff_by_key(EnvironmentTable(schema), EnvironmentTable(other))
+            is None
+        )
+
+    def test_empty_table_fraction(self, schema):
+        delta = diff_by_key(
+            EnvironmentTable(schema, [row(1)]), EnvironmentTable(schema)
+        )
+        assert delta.changed == 1
+        assert delta.fraction == 1.0
 
 
 class TestMultisetEquality:

@@ -46,6 +46,50 @@ class TestNaiveIndexedEquivalence:
         assert signatures_match(on, off, ticks=5) is None
 
 
+class TestMaintenanceModeEquivalence:
+    """The incremental-maintenance subsystem must be invisible in the
+    trajectory: naive, rebuild, incremental, and auto are the same game.
+    """
+
+    SCENARIOS = [
+        # (seed, formation, resurrection)
+        (0, "uniform", True),
+        (1, "two_army", True),
+        (2, "uniform", False),
+        (3, "two_army", False),
+    ]
+
+    @pytest.mark.parametrize("maintenance", ["rebuild", "incremental", "auto"])
+    @pytest.mark.parametrize("seed,formation,resurrection", SCENARIOS)
+    def test_matches_naive_trajectory(
+        self, maintenance, seed, formation, resurrection
+    ):
+        naive = BattleSimulation(
+            40, mode="naive", seed=seed, formation=formation,
+            resurrection=resurrection,
+        )
+        indexed = BattleSimulation(
+            40, mode="indexed", seed=seed, formation=formation,
+            resurrection=resurrection, index_maintenance=maintenance,
+        )
+        diverged = signatures_match(naive, indexed, ticks=6)
+        assert diverged is None, (
+            f"{maintenance} diverged from naive at tick {diverged}"
+        )
+
+    def test_incremental_actually_applies_deltas(self):
+        sim = BattleSimulation(40, seed=0, index_maintenance="incremental")
+        sim.run(6)
+        assert sim.engine.agg_eval.stats.get("delta_ticks", 0) >= 5
+
+    def test_incremental_vs_rebuild_bitwise(self):
+        rebuild = BattleSimulation(50, seed=7, density=0.05)
+        incremental = BattleSimulation(
+            50, seed=7, density=0.05, index_maintenance="incremental"
+        )
+        assert signatures_match(rebuild, incremental, ticks=8) is None
+
+
 class TestDeterminism:
     def test_same_seed_same_run(self):
         a = BattleSimulation(30, mode="indexed", seed=11)

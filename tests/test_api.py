@@ -49,6 +49,24 @@ class TestRunBattle:
         summary = run_battle(20, ticks=2, mode="naive", seed=1)
         assert summary.ticks == 2
 
+    def test_index_maintenance_knob(self):
+        # all three policies run and agree on summary-level outcomes
+        summaries = {
+            policy: run_battle(
+                24, ticks=3, seed=5, index_maintenance=policy
+            )
+            for policy in ("rebuild", "incremental", "auto")
+        }
+        baseline = summaries["rebuild"]
+        for summary in summaries.values():
+            assert summary.ticks == 3
+            assert summary.total_damage == baseline.total_damage
+            assert summary.deaths == baseline.deaths
+
+    def test_invalid_index_maintenance_rejected(self):
+        with pytest.raises(ValueError):
+            run_battle(10, ticks=1, index_maintenance="bogus")
+
 
 class TestPackageSurface:
     def test_version(self):
