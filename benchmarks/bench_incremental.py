@@ -28,7 +28,7 @@ import random
 import sys
 import time
 
-from benchmarks.util import fmt_table
+from benchmarks.util import fmt_table, write_bench_json
 from repro.engine.evaluator import IndexedEvaluator
 from repro.env.schema import battle_schema
 from repro.env.table import EnvironmentTable, diff_by_key
@@ -165,6 +165,10 @@ def main(argv=None):
         "--smoke", action="store_true",
         help="tiny CI workload; asserts policy agreement on every probe",
     )
+    parser.add_argument(
+        "--json", default="BENCH_incremental.json",
+        help="path of the machine-readable result (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -198,6 +202,36 @@ def main(argv=None):
     wins = sum(1 for r in low if r[1] > r[2])
     print(f"\nincremental wins at {wins}/{len(low)} low update rates "
           f"(<=10% changed rows)")
+
+    write_bench_json(
+        args.json,
+        "incremental",
+        {
+            "n_units": n,
+            "rounds": rounds,
+            "probe_units": probe_units,
+            "smoke": args.smoke,
+            "sweep": [
+                {
+                    "changed_fraction": row[0],
+                    "rebuild_s": row[1],
+                    "incremental_s": row[2],
+                    "auto_s": row[3],
+                    "speedup": row[4],
+                }
+                for row in rows
+            ],
+            "engine": [
+                {
+                    "index_maintenance": row[0],
+                    "s_per_tick": row[1],
+                    "upkeep_s_per_tick": row[2],
+                }
+                for row in engine_rows
+            ],
+            "incremental_wins_at_low_rates": f"{wins}/{len(low)}",
+        },
+    )
     if args.smoke:
         # smoke gates on correctness only (the asserts above); the
         # sub-millisecond timings of the tiny workload are too noisy

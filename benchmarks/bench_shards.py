@@ -1,0 +1,157 @@
+"""Sharded tick pipeline: throughput across shard counts and parallelism.
+
+The engine partitions ``E`` by a configurable shard key and runs the
+decision / AoE stages shard-at-a-time, optionally on a worker pool
+(``parallelism="threads"|"processes"``).  ⊕ is associative/commutative
+(Eq. 3), so the per-shard effect tables merge deterministically and
+every configuration is bit-identical to the flat engine -- which this
+bench *asserts* on the final battle state before it reports a single
+number.
+
+Two caveats the numbers must be read with:
+
+* thread workers only run Python bytecode concurrently on free-threaded
+  (no-GIL) builds; under the GIL the threads row measures pipeline
+  overhead, not speedup;
+* process workers pay a per-tick broadcast of the environment rows, so
+  they need several physical cores and large battles to win.
+
+The JSON artifact (``BENCH_shards.json``) records ``cpu_count`` so a
+trajectory consumer can tell a 1-core CI container from a real machine.
+
+    PYTHONPATH=src:. python benchmarks/bench_shards.py [--smoke] [--json PATH]
+
+``--smoke`` shrinks the workload for CI and adds processes mode to the
+equivalence assertion (every mode must match the flat baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from benchmarks.util import fmt_table, write_bench_json
+from repro.game.battle import BattleSimulation
+
+
+def run_config(
+    n_units: int,
+    ticks: int,
+    *,
+    seed: int,
+    label: str,
+    **battle_kwargs,
+) -> dict:
+    """Time one configuration; returns a result record with signature."""
+    with BattleSimulation(n_units, seed=seed, **battle_kwargs) as sim:
+        start = time.perf_counter()
+        sim.run(ticks)
+        elapsed = time.perf_counter() - start
+        return {
+            "config": label,
+            "num_shards": battle_kwargs.get("num_shards", 1),
+            "parallelism": battle_kwargs.get("parallelism", "serial"),
+            "shard_by": battle_kwargs.get("shard_by", "key"),
+            "s_per_tick": elapsed / ticks,
+            "ticks_per_s": ticks / elapsed,
+            "signature": sim.state_signature(),
+        }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI workload; asserts every mode matches the baseline",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_shards.json",
+        help="path of the machine-readable result (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_units, ticks, workers = 120, 3, 2
+        shard_counts = (2, 4)
+    else:
+        n_units, ticks, workers = 5000, 3, 4
+        shard_counts = (4,)
+    seed = 11
+
+    configs: list[tuple[str, dict]] = [("1 shard serial (baseline)", {})]
+    for shards in shard_counts:
+        configs.append(
+            (f"{shards} shards serial spatial",
+             dict(num_shards=shards, shard_by="spatial")),
+        )
+        configs.append(
+            (f"{shards} shards threads x{workers} spatial",
+             dict(num_shards=shards, shard_by="spatial",
+                  parallelism="threads", max_workers=workers)),
+        )
+    configs.append(
+        (f"{shard_counts[-1]} shards serial by-key",
+         dict(num_shards=shard_counts[-1], shard_by="key")),
+    )
+    configs.append(
+        (f"{shard_counts[-1]} shards processes x{workers} spatial",
+         dict(num_shards=shard_counts[-1], shard_by="spatial",
+              parallelism="processes", max_workers=workers)),
+    )
+
+    print(
+        f"\n=== sharded tick throughput: {n_units} units, {ticks} ticks, "
+        f"{os.cpu_count()} cpu(s) ==="
+    )
+    results = []
+    for label, kwargs in configs:
+        results.append(
+            run_config(n_units, ticks, seed=seed, label=label, **kwargs)
+        )
+
+    baseline = results[0]
+    for result in results[1:]:
+        assert result["signature"] == baseline["signature"], (
+            f"{result['config']} diverged from the flat baseline"
+        )
+    print(f"all {len(results)} configurations bit-identical to the baseline")
+
+    rows = []
+    for result in results:
+        result["speedup_vs_baseline"] = (
+            baseline["s_per_tick"] / result["s_per_tick"]
+        )
+        rows.append(
+            [
+                result["config"],
+                result["s_per_tick"],
+                result["ticks_per_s"],
+                f"{result['speedup_vs_baseline']:.2f}x",
+            ]
+        )
+    print(fmt_table(["config", "s/tick", "ticks/s", "speedup"], rows))
+    if (os.cpu_count() or 1) < 2:
+        print(
+            "note: single-core machine -- parallel rows measure pipeline "
+            "overhead, not speedup"
+        )
+
+    write_bench_json(
+        args.json,
+        "shards",
+        {
+            "n_units": n_units,
+            "ticks": ticks,
+            "workers": workers,
+            "smoke": args.smoke,
+            "results": [
+                {k: v for k, v in result.items() if k != "signature"}
+                for result in results
+            ],
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

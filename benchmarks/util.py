@@ -9,6 +9,10 @@ time; naive and indexed always share workloads, seeds, and tick counts.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import sys
 import time
 
 from repro.game.battle import BattleSimulation
@@ -53,6 +57,30 @@ def fmt_table(headers: list[str], rows: list[list[object]]) -> str:
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+def write_bench_json(path: str, bench: str, payload: dict) -> None:
+    """Write a machine-readable bench result next to the table output.
+
+    Every bench emits a ``BENCH_<name>.json`` so the perf trajectory of
+    the repo can be tracked across commits (CI uploads these as
+    artifacts).  The envelope pins down the machine context that
+    absolute timings depend on; consumers should compare *shapes and
+    ratios* across runs on unlike hardware, exactly as the printed
+    tables advise.
+    """
+    envelope = {
+        "bench": bench,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        **payload,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(envelope, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"\nwrote {path}")
 
 
 def emit(capsys, title: str, body: str) -> None:

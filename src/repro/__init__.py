@@ -18,12 +18,18 @@ The package implements the paper's full stack:
 Beyond the paper, the indexed engine supports delta-driven incremental
 index maintenance: pass ``index_maintenance="incremental"`` (always
 patch retained indexes with the tick's row delta) or ``"auto"``
-(cost-based per-tick choice) to :class:`EngineConfig`,
-:func:`run_battle`, or :class:`BattleSimulation` instead of the paper's
-per-tick ``"rebuild"`` default.  Trajectories are bit-identical across
-all three for games whose aggregate measures sum exactly in floating
-point (integer-valued measures, as in the battle simulation);
-``benchmarks/bench_incremental.py`` maps out where each wins.
+(cost-based per-tick choice, by default an EWMA-learned crossover) to
+:class:`EngineConfig`, :func:`run_battle`, or :class:`BattleSimulation`
+instead of the paper's per-tick ``"rebuild"`` default.  The engine also
+runs **sharded**: ``num_shards=``/``shard_by=`` partition ``E`` (by
+spatial strip or hashed attribute) and ``parallelism=`` fans the
+per-shard decision/effect stages out over thread or process workers,
+merging shard-local effect tables under ⊕ (associative/commutative,
+Eq. 3).  Trajectories are bit-identical across every maintenance mode,
+shard count, and parallelism mode for games whose aggregate measures
+sum exactly in floating point (integer-valued measures, as in the
+battle simulation); ``benchmarks/bench_incremental.py`` and
+``benchmarks/bench_shards.py`` map out where each wins.
 
 Quickstart::
 
@@ -41,6 +47,7 @@ from .api import (
 )
 from .engine.clock import EngineConfig, SimulationEngine
 from .env.schema import Attribute, AttributeType, Schema, battle_schema
+from .env.sharding import ShardedEnvironment, make_sharder
 from .env.table import EnvironmentTable
 from .game.battle import BattleSimulation, BattleSummary
 from .sgl.builtins import FunctionRegistry
@@ -59,10 +66,12 @@ __all__ = [
     "FunctionRegistry",
     "GameDefinition",
     "Schema",
+    "ShardedEnvironment",
     "SimulationEngine",
     "battle_schema",
     "compile_script",
     "explain_script",
+    "make_sharder",
     "parse_script",
     "run_battle",
     "__version__",

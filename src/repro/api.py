@@ -103,6 +103,13 @@ class GameDefinition:
         cascade: bool = True,
         index_maintenance: str = "rebuild",
         incremental_threshold: float = 0.25,
+        auto_policy: str = "ewma",
+        num_shards: int = 1,
+        shard_by: str | None = None,
+        spatial_extent: float | None = None,
+        parallelism: str = "serial",
+        max_workers: int | None = None,
+        worker_factory: Callable | None = None,
     ) -> SimulationEngine:
         """Build a :class:`SimulationEngine` for this game definition.
 
@@ -110,12 +117,25 @@ class GameDefinition:
         indexed engine: ``"rebuild"`` discards and rebuilds every tick
         (the paper's default), ``"incremental"`` patches retained
         indexes with the captured row delta, and ``"auto"`` picks per
-        tick based on the changed-row fraction (threshold
-        *incremental_threshold*).  All strategies are bit-identical in
-        trajectory when aggregate measure sums are floating-point exact
-        (e.g. integer-valued measures); delta application sums in a
-        different order than a fresh build, so inexact float measures
-        may drift in final ulps.  Only wall-clock differs otherwise.
+        tick from the evaluator's learned cost crossover
+        (*auto_policy*\\ ``="ewma"``) or the changed-row fraction
+        (``"threshold"``, also the EWMA bootstrap; threshold
+        *incremental_threshold*).
+
+        *num_shards* / *shard_by* / *parallelism* configure the sharded
+        tick pipeline: ``E`` is partitioned by the shard key (default:
+        the schema key, hashed process-stably; ``"spatial"`` needs
+        *spatial_extent*) and the per-shard decision/effect stages run
+        serially or on a thread pool; ``parallelism="processes"``
+        additionally needs a picklable *worker_factory* returning a
+        :class:`~repro.engine.shardexec.WorkerGame`.
+
+        All strategies, shard counts, and parallelism modes are
+        bit-identical in trajectory when aggregate measure and effect
+        sums are floating-point exact (e.g. integer-valued measures);
+        per-shard evaluation sums in a different order than a flat scan,
+        so inexact float sums may drift in final ulps.  Only wall-clock
+        differs otherwise.
         """
         scripts = self.scripts
         selector = self.script_selector
@@ -135,6 +155,13 @@ class GameDefinition:
                 seed=seed,
                 index_maintenance=index_maintenance,
                 incremental_threshold=incremental_threshold,
+                auto_policy=auto_policy,
+                num_shards=num_shards,
+                shard_by=shard_by if shard_by is not None else self.schema.key,
+                spatial_extent=spatial_extent,
+                parallelism=parallelism,
+                max_workers=max_workers,
+                worker_factory=worker_factory,
             ),
         )
 
@@ -150,17 +177,28 @@ def run_battle(
     resurrection: bool = True,
     index_maintenance: str = "rebuild",
     incremental_threshold: float = 0.25,
+    auto_policy: str = "ewma",
+    num_shards: int = 1,
+    shard_by: str = "key",
+    parallelism: str = "serial",
+    max_workers: int | None = None,
 ) -> BattleSummary:
     """One-call battle run; returns the summary with per-tick stats.
 
     *index_maintenance* (indexed mode only) chooses between per-tick
     index rebuild (``"rebuild"``), delta-driven incremental maintenance
-    (``"incremental"``), and the per-tick cost-based choice (``"auto"``)
-    -- the battle's measures are integer-valued, so trajectories are
-    bit-identical either way.  *incremental_threshold* tunes the
-    ``"auto"`` crossover (changed-row fraction above which it rebuilds).
+    (``"incremental"``), and the per-tick cost-based choice (``"auto"``,
+    tuned by *auto_policy* / *incremental_threshold*).
+
+    *num_shards* partitions the environment by *shard_by* (``"spatial"``
+    = vertical map strips; otherwise a hashed const attribute like
+    ``"key"`` or ``"player"``) and *parallelism* selects how the
+    per-shard pipeline stages run (``"serial"`` | ``"threads"`` |
+    ``"processes"``).  The battle's measures are integer-valued, so
+    trajectories are bit-identical across every combination of these
+    knobs; only wall-clock differs.
     """
-    sim = BattleSimulation(
+    with BattleSimulation(
         n_units,
         density=density,
         mode=mode,
@@ -169,5 +207,10 @@ def run_battle(
         resurrection=resurrection,
         index_maintenance=index_maintenance,
         incremental_threshold=incremental_threshold,
-    )
-    return sim.run(ticks)
+        auto_policy=auto_policy,
+        num_shards=num_shards,
+        shard_by=shard_by,
+        parallelism=parallelism,
+        max_workers=max_workers,
+    ) as sim:
+        return sim.run(ticks)

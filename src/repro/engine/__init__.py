@@ -17,6 +17,7 @@ from .evaluator import (
 from .movement import Grid, desired_direction, run_movement_phase
 from .postprocess import example_41_postprocess
 from .rng import TickRandom, splitmix64
+from .shardexec import WorkerGame
 
 __all__ = [
     "AoeRecord",
@@ -29,6 +30,7 @@ __all__ = [
     "SimulationEngine",
     "TickRandom",
     "TickStats",
+    "WorkerGame",
     "collect_call_hints",
     "desired_direction",
     "empty_aggregate_result",

@@ -1,22 +1,49 @@
 """The discrete simulation engine: the tick loop of Sections 2.2 and 6.
 
-Each clock tick proceeds in the phases the paper's engine uses:
+Each clock tick runs an explicit staged pipeline over a *sharded*
+environment (the partition of ``E`` by a configurable shard key --
+``repro.env.sharding``):
 
-1. **index build** -- the indexed evaluator arms itself for this tick's
-   environment: by default it resets and (lazily, on first probe)
-   rebuilds the aggregate indexes; with ``index_maintenance`` set to
-   ``"incremental"``/``"auto"`` it instead patches the retained indexes
-   with the row delta captured at the end of the previous tick.
-   Sweep-line batches for hinted extreme aggregates are also built here;
-2. **decision** -- every unit executes its script; effect rows (and
-   deferred AoE records) accumulate;
-3. **second index build + action** -- deferred area effects resolve
-   through the ⊕ optimisation of Section 5.4 (this is the paper's
-   "second index building phase, which can depend on values generated
-   during the decision phase");
-4. **combine** -- all effect tables merge with E under ⊕ (Eq. 6);
+0. **partition** -- ``E`` is viewed as per-shard tables sharing the flat
+   table's rows and row order;
+1. **index build / maintenance** -- the indexed evaluator arms itself
+   for this tick's environment: by default it resets and (lazily, on
+   first probe) rebuilds the aggregate indexes; with
+   ``index_maintenance`` set to ``"incremental"``/``"auto"`` it instead
+   patches the retained per-shard indexes with the row delta captured at
+   the end of the previous tick.  Sweep-line batches for hinted extreme
+   aggregates are also built here;
+2. **decision** -- every unit executes its script, shard at a time;
+   per-shard effect rows (and deferred AoE records) accumulate.  Shards
+   are independent -- scripts read the tick-start snapshot and write
+   fresh effect rows -- so this stage fans out across parallel workers
+   (``parallelism="threads"``/``"processes"``);
+3. **second index build + action** -- deferred area effects gathered
+   from all shards resolve through the ⊕ optimisation of Section 5.4,
+   one resolution per target shard (this is the paper's "second index
+   building phase, which can depend on values generated during the
+   decision phase");
+4. **⊕-merge** -- the flat environment and every shard's effect tables
+   merge under ⊕ (Eq. 6).  ⊕ is associative and commutative (Eq. 3), so
+   shard-local effect tables can be combined in any order; the engine
+   always merges in ascending shard id, the deterministic tie-break that
+   keeps trajectories bit-identical run to run *and* across shard
+   counts and parallelism modes (see below);
 5. **mechanics** -- the game's post-processing applies the combined
    effects (Example 4.1), moves units, removes the dead.
+
+**Determinism.**  Sharded and parallel runs are bit-identical to the
+single-shard serial engine because nothing in a tick depends on
+cross-shard evaluation order: the random function is counter-mode (a
+pure function of seed, tick, unit key, draw index), every index merge
+tie-breaks on unit keys, ⊕'s aggregates are associative/commutative,
+and the combined table inherits its row order from the flat ``E`` (⊕
+groups are seeded by the environment rows, which every effect row
+references).  The one caveat is shared with incremental maintenance:
+effect values that *sum inexactly in floating point* may differ in
+final ulps when their contributions arrive from different shards, since
+float addition is not associative.  All of the battle simulation's
+summed measures are integer-valued, so its trajectories are exact.
 
 The evaluator is pluggable (Section 6): ``mode="naive"`` scans E for
 every aggregate, ``mode="indexed"`` probes the Section 5.3 structures.
@@ -26,11 +53,13 @@ Both produce identical trajectories; only the wall-clock differs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from ..algebra.shapes import ActionShape, classify_action
 from ..env.combine import combine_all
+from ..env.sharding import ShardedEnvironment, make_sharder
 from ..env.table import EnvironmentTable, TableDelta, diff_by_key
 from ..sgl import ast
 from ..sgl.analysis import analyze_script
@@ -52,6 +81,9 @@ MechanicsFn = Callable[[EnvironmentTable, TickRandom, int], EnvironmentTable]
 #: per-tick grouping, so eviction can never serve a stale runner).
 _RUNNER_CACHE_MAX = 256
 
+#: One shard's decision work: (runner, unit rows) in shard-local order.
+_ShardTask = list[tuple[DecisionRunner, list]]
+
 
 @dataclass
 class TickStats:
@@ -69,11 +101,13 @@ class TickStats:
     #: Index upkeep: evaluator begin_tick (delta apply or cache reset)
     #: plus post-mechanics change capture.  0.0 in naive mode.
     maintenance_time: float = 0.0
+    #: Shard count the tick ran with (1 = the flat engine).
+    shards: int = 1
 
 
 @dataclass
 class EngineConfig:
-    """Engine knobs (Section 6 plus the incremental-maintenance extension).
+    """Engine knobs (Section 6 plus the sharding/maintenance extensions).
 
     ``index_maintenance`` governs what happens to the aggregate indexes
     between ticks (indexed mode only):
@@ -82,16 +116,33 @@ class EngineConfig:
       tick, the paper's strategy for rapidly-changing data;
     * ``"incremental"`` -- diff the environment across the tick and
       patch the retained index structures with the row delta;
-    * ``"auto"`` -- cost-based: apply the delta while the changed-row
-      fraction stays at or below ``incremental_threshold``, otherwise
-      fall back to a full rebuild for that tick.
+    * ``"auto"`` -- cost-based: with ``auto_policy="ewma"`` (default)
+      the evaluator learns per-row rebuild and per-change delta costs
+      from its own timing history and picks whichever is predicted
+      cheaper; ``auto_policy="threshold"`` is the original rule (apply
+      the delta while the changed-row fraction stays at or below
+      ``incremental_threshold``), and also the bootstrap until the EWMA
+      estimates have samples.
 
-    All three produce bit-identical trajectories whenever aggregate
-    measure sums are exact in floating point -- true for integer-valued
-    measures like the battle simulation's.  (Delta application sums
-    contributions in a different order than a fresh build, so float
-    measures with inexact sums may differ in final ulps between
-    policies.)  Only wall-clock differs otherwise.
+    Sharding knobs:
+
+    * ``num_shards`` -- how many partitions of ``E`` the pipeline runs
+      (1 = the flat engine);
+    * ``shard_by`` -- the shard key: ``"spatial"`` (vertical strips over
+      ``posx``, requires ``spatial_extent``) or any const attribute name
+      (``"key"``, ``"player"``, ...) hashed process-stably;
+    * ``parallelism`` -- ``"serial"`` runs shards one after another,
+      ``"threads"`` fans the decision/AoE stages out over a thread pool
+      (a real speedup on free-threaded CPython; correctness-equivalent
+      under the GIL), ``"processes"`` runs shard decisions in worker
+      processes built from ``worker_factory`` (see
+      ``repro.engine.shardexec``);
+    * ``max_workers`` -- pool size (default: ``num_shards``).
+
+    All maintenance modes, shard counts, and parallelism modes produce
+    bit-identical trajectories whenever effect/measure sums are exact in
+    floating point -- true for integer-valued measures like the battle
+    simulation's (see the module docstring for why).
     """
 
     mode: str = "indexed"  # "indexed" | "naive"
@@ -100,6 +151,16 @@ class EngineConfig:
     seed: int = 0
     index_maintenance: str = "rebuild"  # "rebuild" | "incremental" | "auto"
     incremental_threshold: float = 0.25
+    auto_policy: str = "ewma"  # "ewma" | "threshold"
+    num_shards: int = 1
+    shard_by: str = "key"  # "spatial" | const attribute name
+    spatial_extent: float | None = None
+    parallelism: str = "serial"  # "serial" | "threads" | "processes"
+    max_workers: int | None = None
+    #: Picklable module-level callable returning a
+    #: :class:`~repro.engine.shardexec.WorkerGame`; required (and only
+    #: used) by ``parallelism="processes"``.
+    worker_factory: Callable | None = None
 
 
 class SimulationEngine:
@@ -108,6 +169,10 @@ class SimulationEngine:
     *script_for* maps a unit row to its compiled script (the battle
     simulation dispatches on unit type); *mechanics* is the game's
     post-processing step.
+
+    Engines that use a worker pool (``parallelism`` other than
+    ``"serial"``) should be :meth:`close`\\ d when done -- or used as a
+    context manager -- to shut the pool down promptly.
     """
 
     def __init__(
@@ -123,32 +188,58 @@ class SimulationEngine:
         self.script_for = script_for
         self.mechanics = mechanics
         self.config = config or EngineConfig()
-        if self.config.mode not in ("indexed", "naive"):
-            raise ValueError(f"unknown engine mode {self.config.mode!r}")
-        if self.config.index_maintenance not in ("rebuild", "incremental", "auto"):
+        cfg = self.config
+        if cfg.mode not in ("indexed", "naive"):
+            raise ValueError(f"unknown engine mode {cfg.mode!r}")
+        if cfg.index_maintenance not in ("rebuild", "incremental", "auto"):
             raise ValueError(
-                f"unknown index_maintenance {self.config.index_maintenance!r}"
+                f"unknown index_maintenance {cfg.index_maintenance!r}"
             )
-        self.indexed = self.config.mode == "indexed"
-        self.rng = TickRandom(self.config.seed)
+        if cfg.parallelism not in ("serial", "threads", "processes"):
+            raise ValueError(f"unknown parallelism {cfg.parallelism!r}")
+        if cfg.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {cfg.num_shards}")
+        if cfg.parallelism == "processes" and cfg.worker_factory is None:
+            raise ValueError(
+                "parallelism='processes' needs a picklable worker_factory "
+                "(a module-level callable returning a WorkerGame); "
+                "BattleSimulation supplies its own"
+            )
+        self.indexed = cfg.mode == "indexed"
+        self.rng = TickRandom(cfg.seed, key_attr=env.schema.key)
         self.tick_count = 0
         self.history: list[TickStats] = []
+        self.shard_of = make_sharder(
+            cfg.shard_by,
+            cfg.num_shards,
+            extent=cfg.spatial_extent,
+        )
+        self._parallel = cfg.parallelism != "serial" and cfg.num_shards > 1
+        self._processes = cfg.parallelism == "processes" and cfg.num_shards > 1
+        self._pool: Executor | None = None
 
         if self.indexed:
             self.agg_eval = IndexedEvaluator(
                 registry,
-                cascade=self.config.cascade,
+                cascade=cfg.cascade,
                 key_attr=env.schema.key,
-                maintenance=self.config.index_maintenance,
-                incremental_threshold=self.config.incremental_threshold,
+                maintenance=cfg.index_maintenance,
+                incremental_threshold=cfg.incremental_threshold,
+                auto_policy=cfg.auto_policy,
+                shard_of=self.shard_of,
+                num_shards=cfg.num_shards,
             )
         else:
             self.agg_eval = NaiveEvaluator()
 
         # change capture feeds the evaluator's incremental maintenance;
-        # the delta diffed at the end of tick t is consumed at t+1
+        # the delta diffed at the end of tick t is consumed at t+1.
+        # Process workers rebuild from the broadcast rows each tick, so
+        # the parent engine has nothing to maintain there.
         self._capture_deltas = (
-            self.indexed and self.config.index_maintenance != "rebuild"
+            self.indexed
+            and cfg.index_maintenance != "rebuild"
+            and not self._processes
         )
         self._pending_delta: TableDelta | None = None
 
@@ -164,6 +255,51 @@ class SimulationEngine:
             for name, fn in registry.actions.items()
             if fn.spec is not None
         }
+
+    # -- worker pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            cfg = self.config
+            workers = cfg.max_workers or cfg.num_shards
+            if self._processes:
+                import multiprocessing
+
+                from .shardexec import _init_worker
+
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else "spawn"
+                )
+                payload = {
+                    "mode": cfg.mode,
+                    "optimize_aoe": cfg.optimize_aoe,
+                    "cascade": cfg.cascade,
+                    "seed": cfg.seed,
+                }
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=ctx,
+                    initializer=_init_worker,
+                    initargs=(cfg.worker_factory, payload),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-shard"
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial engines)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SimulationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- script compilation cache -------------------------------------------------
 
@@ -189,40 +325,49 @@ class SimulationEngine:
         self._runners[key] = entry
         return entry
 
-    # -- the tick loop --------------------------------------------------------------
+    # -- pipeline stages ------------------------------------------------------------
 
-    def tick(self) -> TickStats:
-        start = time.perf_counter()
-        self.tick_count += 1
-        self.rng.advance(self.tick_count)
-        env = self.env
-        schema = env.schema
+    def _stage_partition(self, env: EnvironmentTable) -> ShardedEnvironment:
+        """Stage 0: view E as per-shard tables (rows shared, order kept)."""
+        return ShardedEnvironment(env, self.config.num_shards, self.shard_of)
 
-        # group units by script so hints know their probe sets
-        units_by_script: dict[int, tuple[ast.Script, list]] = {}
-        for row in env.rows:
-            script = self.script_for(row)
-            units_by_script.setdefault(id(script), (script, []))[1].append(row)
+    def _shard_tasks(
+        self, sharded: ShardedEnvironment
+    ) -> tuple[list[_ShardTask], list[tuple[CallHint, list]], set[str]]:
+        """Group each shard's units by script and resolve their runners.
 
-        # phase 1: (re)arm the evaluator; pass sweep-batch hints.  With
-        # delta maintenance enabled this is where last tick's captured
-        # delta patches the retained indexes instead of discarding them.
-        maintenance_time = 0.0
-        if self.indexed:
-            hint_pairs = []
-            for script, units in units_by_script.values():
-                for hint in self._runner_for(script)[2]:
+        Runner resolution happens here, in the main thread, because the
+        runner cache is an LRU dict that must not be mutated from
+        decision workers.  Returns the per-shard task lists, the
+        (hint, probe units) pairs for sweep batching, and the set of
+        hinted aggregate names (for eager index builds under
+        parallelism).
+        """
+        tasks: list[_ShardTask] = []
+        hint_pairs: list[tuple[CallHint, list]] = []
+        hinted: set[str] = set()
+        for shard in sharded.shards:
+            groups: dict[int, tuple[ast.Script, list]] = {}
+            for row in shard.rows:
+                script = self.script_for(row)
+                groups.setdefault(id(script), (script, []))[1].append(row)
+            task: _ShardTask = []
+            for script, units in groups.values():
+                entry = self._runner_for(script)
+                task.append((entry[1], units))
+                for hint in entry[2]:
                     hint_pairs.append((hint, units))
-            t0 = time.perf_counter()
-            self.agg_eval.begin_tick(env, hint_pairs, delta=self._pending_delta)
-            maintenance_time += time.perf_counter() - t0
-            self._pending_delta = None
-            by_key = env.by_key()
-        else:
-            by_key = None
+                    hinted.add(hint.function)
+            tasks.append(task)
+        return tasks, hint_pairs, hinted
 
-        # phase 2: decision
-        t0 = time.perf_counter()
+    def _run_decision(
+        self,
+        task: _ShardTask,
+        by_key: Mapping[object, Mapping[str, object]] | None,
+        env: EnvironmentTable,
+    ) -> tuple[list[dict[str, object]], list[AoeRecord]]:
+        """Stage 2 for one shard: run scripts, collect effects."""
         effect_rows: list[dict[str, object]] = []
         aoe_records: list[AoeRecord] = []
         rng = self.rng
@@ -239,36 +384,151 @@ class SimulationEngine:
                 unit=unit,
             )
 
-        for script, units in units_by_script.values():
-            runner = self._runner_for(script)[1]
+        for runner, units in task:
             for unit in units:
                 runner.run_unit(unit, ctx_factory, by_key, effect_rows, aoe_records)
+        return effect_rows, aoe_records
+
+    def _decide_processes(
+        self, sharded: ShardedEnvironment
+    ) -> list[tuple[list[dict[str, object]], list[AoeRecord]]]:
+        """Stage 2 in worker processes: broadcast rows, gather effects.
+
+        Shards are bundled into one task per worker so each tick pickles
+        the row list ``max_workers`` times, not ``num_shards`` times;
+        results are re-ordered by shard id for the deterministic ⊕-merge.
+        """
+        from .shardexec import _decide_shards
+
+        pool = self._ensure_pool()
+        rows = self.env.rows
+        num_shards = sharded.num_shards
+        indices: list[list[int]] = [[] for _ in range(num_shards)]
+        shard_of = self.shard_of
+        for i, row in enumerate(rows):
+            indices[shard_of(row)].append(i)
+        workers = min(self.config.max_workers or num_shards, num_shards)
+        bundles: list[list[tuple[int, list[int]]]] = [
+            [] for _ in range(workers)
+        ]
+        for shard_id, idxs in enumerate(indices):
+            bundles[shard_id % workers].append((shard_id, idxs))
+        futures = [
+            pool.submit(_decide_shards, self.tick_count, rows, bundle)
+            for bundle in bundles
+            if bundle
+        ]
+        by_shard: dict[int, tuple[list, list]] = {}
+        for future in futures:
+            for shard_id, effect_rows, aoe_records in future.result():
+                by_shard[shard_id] = (effect_rows, aoe_records)
+        return [by_shard[shard_id] for shard_id in range(num_shards)]
+
+    # -- the tick loop --------------------------------------------------------------
+
+    def tick(self) -> TickStats:
+        start = time.perf_counter()
+        self.tick_count += 1
+        self.rng.advance(self.tick_count)
+        env = self.env
+        schema = env.schema
+
+        # stage 0: partition E by the shard key
+        sharded = self._stage_partition(env)
+
+        # stage 1: (re)arm the evaluator; pass sweep-batch hints.  With
+        # delta maintenance enabled this is where last tick's captured
+        # delta patches the retained per-shard indexes instead of
+        # discarding them.  Parallel engines also eagerly build the
+        # hinted indexes so decision workers never build concurrently.
+        maintenance_time = 0.0
+        by_key = None
+        if self._processes:
+            shard_tasks = None
+        else:
+            shard_tasks, hint_pairs, hinted = self._shard_tasks(sharded)
+            if self.indexed:
+                t0 = time.perf_counter()
+                self.agg_eval.begin_tick(
+                    env, hint_pairs, delta=self._pending_delta
+                )
+                if self._parallel:
+                    self.agg_eval.prepare(hinted)
+                maintenance_time += time.perf_counter() - t0
+                self._pending_delta = None
+                by_key = env.by_key()
+
+        # stage 2: decision, shard at a time
+        t0 = time.perf_counter()
+        if self._processes:
+            shard_results = self._decide_processes(sharded)
+        elif self._parallel:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(self._run_decision, task, by_key, env)
+                for task in shard_tasks
+            ]
+            shard_results = [f.result() for f in futures]
+        else:
+            shard_results = [
+                self._run_decision(task, by_key, env) for task in shard_tasks
+            ]
         decision_time = time.perf_counter() - t0
 
-        # phase 3: second index build -- resolve deferred area effects
+        # stage 3: second index build -- resolve deferred area effects
+        # gathered from every shard, one resolution per target shard
         t0 = time.perf_counter()
-        if aoe_records:
-            effect_rows.extend(
-                resolve_aoe(
-                    aoe_records,
-                    env.rows,
+        all_aoe: list[AoeRecord] = []
+        for _, records in shard_results:
+            all_aoe.extend(records)
+        aoe_rows_by_shard: list[list[dict[str, object]]] = []
+        if all_aoe:
+            constants = self.registry.constants
+
+            def resolve_shard(shard: EnvironmentTable) -> list:
+                return resolve_aoe(
+                    all_aoe,
+                    shard.rows,
                     schema,
                     self._action_shapes,
-                    registry.constants,
+                    constants,
                 )
-            )
+
+            if self._parallel and not self._processes:
+                pool = self._ensure_pool()
+                aoe_rows_by_shard = list(
+                    pool.map(resolve_shard, sharded.shards)
+                )
+            else:
+                aoe_rows_by_shard = [
+                    resolve_shard(shard) for shard in sharded.shards
+                ]
         aoe_time = time.perf_counter() - t0
 
-        # phase 4: combine (Eq. 6: main⊕(E) ⊕ E)
+        # stage 4: ⊕-merge (Eq. 6: main⊕(E) ⊕ E).  Deterministic merge
+        # order: E first (seeding the row order), then every shard's
+        # decision effects in ascending shard id, then AoE effects
+        # likewise.  ⊕ is associative/commutative, so this fixed order
+        # is a tie-break, not a semantic choice.
         t0 = time.perf_counter()
-        effects = EnvironmentTable(schema)
-        effects.rows.extend(effect_rows)
-        combined = combine_all([env, effects], schema)
+        effect_row_count = 0
+        tables = [env]
+        for rows, _ in shard_results:
+            effect_row_count += len(rows)
+            table = EnvironmentTable(schema)
+            table.rows.extend(rows)
+            tables.append(table)
+        for rows in aoe_rows_by_shard:
+            effect_row_count += len(rows)
+            table = EnvironmentTable(schema)
+            table.rows.extend(rows)
+            tables.append(table)
+        combined = combine_all(tables, schema)
         combine_time = time.perf_counter() - t0
 
-        # phase 5: game mechanics (post-processing + movement)
+        # stage 5: game mechanics (post-processing + movement)
         t0 = time.perf_counter()
-        self.env = self.mechanics(combined, rng, self.tick_count)
+        self.env = self.mechanics(combined, self.rng, self.tick_count)
         mechanics_time = time.perf_counter() - t0
 
         # change capture: diff the post-mechanics environment against the
@@ -276,13 +536,11 @@ class SimulationEngine:
         # the pre-tick values).  Consumed by next tick's begin_tick.
         if self._capture_deltas:
             t0 = time.perf_counter()
-            # "auto" discards any delta above its threshold, so let the
-            # diff bail out early instead of completing a doomed one
+            # "auto" discards any delta above its policy's budget, so let
+            # the diff bail out early instead of completing a doomed one
             cutoff = None
             if self.config.index_maintenance == "auto":
-                cutoff = int(
-                    self.config.incremental_threshold * len(self.env)
-                )
+                cutoff = self.agg_eval.delta_budget(len(self.env))
             self._pending_delta = diff_by_key(
                 env, self.env, max_changed=cutoff
             )
@@ -291,14 +549,15 @@ class SimulationEngine:
         stats = TickStats(
             tick=self.tick_count,
             units=len(env),
-            effect_rows=len(effect_rows),
-            aoe_records=len(aoe_records),
+            effect_rows=effect_row_count,
+            aoe_records=len(all_aoe),
             decision_time=decision_time,
             aoe_time=aoe_time,
             combine_time=combine_time,
             mechanics_time=mechanics_time,
             total_time=time.perf_counter() - start,
             maintenance_time=maintenance_time,
+            shards=self.config.num_shards,
         )
         self.history.append(stats)
         return stats

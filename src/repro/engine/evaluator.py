@@ -50,8 +50,9 @@ battle simulation).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..algebra.shapes import AggregateShape, classify_aggregate
 from ..env.table import EnvironmentTable, TableDelta
@@ -129,27 +130,52 @@ class IndexedEvaluator:
         maintenance: str = "rebuild",
         incremental_threshold: float = 0.25,
         overlay_budget: float = 0.5,
+        auto_policy: str = "ewma",
+        shard_of: Callable[[Mapping[str, object]], int] | None = None,
+        num_shards: int = 1,
     ):
         if maintenance not in ("rebuild", "incremental", "auto"):
             raise ValueError(f"unknown maintenance mode {maintenance!r}")
+        if auto_policy not in ("ewma", "threshold"):
+            raise ValueError(f"unknown auto_policy {auto_policy!r}")
         self.registry = registry
         self.cascade = cascade
         self.key_attr = key_attr
         self.maintenance = maintenance
-        #: "auto" applies deltas only below this changed-row fraction.
+        #: "auto" applies deltas only below this changed-row fraction
+        #: (the bootstrap rule until the EWMA cost model has samples).
         self.incremental_threshold = incremental_threshold
         #: Drop a structure once its mutation count exceeds this fraction
         #: of its size (overlay scans / tombstones degrade probes).
         self.overlay_budget = overlay_budget
+        #: "ewma" decides rebuild-vs-delta from observed timing history;
+        #: "threshold" is the original single changed-fraction rule.
+        self.auto_policy = auto_policy
+        #: Environment sharding: when set, every hash layer prefixes its
+        #: group keys with the row's shard id, giving per-shard sub-index
+        #: instances whose answers merge at probe time.  Maintenance
+        #: routes through the same keys, so it stays shard-local.
+        self.shard_of = shard_of if num_shards > 1 else None
+        self.num_shards = num_shards if self.shard_of is not None else 1
         self._compiled: dict[str, _CompiledShape] = {}
         # per-tick caches (retained across ticks under delta maintenance)
         self._env: EnvironmentTable | None = None
         self._div_index: dict[str, PartitionedIndex] = {}
         self._kd_index: dict[str, PartitionedIndex] = {}
         self._row_index: dict[str, PartitionedIndex] = {}
-        self._batch: dict[tuple, object] = {}
-        self._batch_ready: set[str] = set()
+        #: fn name -> {args signature -> sweep result}; an entry's
+        #: presence means the function's Figure-9 batch is ready.
+        self._batches: dict[str, dict[tuple, object]] = {}
         self._hints: list[tuple[CallHint, list[Mapping[str, object]]]] = []
+        # EWMA cost model (auto_policy="ewma"): seconds/row of from-
+        # scratch builds vs seconds/changed-row of delta application,
+        # learned from the same wall-clock that TickStats.maintenance_time
+        # reports.  Build samples accumulate lazily (structures build on
+        # first probe) and fold in at the next begin_tick.
+        self._rebuild_cost: float | None = None
+        self._delta_cost: float | None = None
+        self._pending_build_seconds = 0.0
+        self._pending_build_rows = 0
         # instrumentation
         self.stats: dict[str, int] = {}
 
@@ -169,16 +195,37 @@ class IndexedEvaluator:
         ``"auto"`` a usable delta patches the retained index structures
         in place; otherwise (or when the cost policy votes rebuild) all
         structures are discarded and lazily rebuilt on first probe.
-        Sweep-line batches are always per-tick.
+
+        Sweep-line batches are per-tick by default, but under delta
+        maintenance a function's batch survives the tick when the delta
+        touched neither its source partition (no changed row passes the
+        build filter) nor its probe group (same hinted call sites over
+        the same, unchanged units) -- the sweep would recompute the
+        exact same answers.
         """
-        self._batch.clear()
-        self._batch_ready.clear()
-        self._hints = list(hints)
+        new_hints = list(hints)
+        self._fold_build_costs()
+        # Sweep-batch retention is decided independently of the
+        # structure-maintenance vote: a batch is a pure function of its
+        # (unchanged) source rows and probe group, so it stays exact
+        # whether the div/kd structures get patched or rebuilt.
+        reusable = (
+            delta is not None
+            and self.maintenance != "rebuild"
+            and self._env is not None
+        )
+        retained = self._retained_batches(delta, new_hints) if reusable else {}
         if self._should_apply(delta):
+            self._batches = retained
+            self._hints = new_hints
+            t0 = time.perf_counter()
             self._apply_delta(delta)
+            self._observe_delta_cost(time.perf_counter() - t0, delta.changed)
             self._bump("delta_ticks")
             self._drop_overgrown()
         else:
+            self._batches = retained
+            self._hints = new_hints
             discarded = bool(
                 self._div_index or self._kd_index or self._row_index
             )
@@ -189,14 +236,172 @@ class IndexedEvaluator:
                 self._bump("rebuild_ticks")
         self._env = env
 
+    def prepare(self, fn_names: Iterable[str]) -> None:
+        """Eagerly build everything the named aggregates probe this tick.
+
+        The staged pipeline calls this between ``begin_tick`` and the
+        parallel decision stage so that worker threads only *read* the
+        index structures; without it the lazily-built indexes would race
+        on first probe.  Serial engines skip it and keep the original
+        build-on-first-probe behaviour (a tick that never probes an
+        aggregate then never pays for its index).
+        """
+        for name in fn_names:
+            fn = self.registry.aggregates.get(name)
+            if fn is None or fn.native is not None or fn.spec is None:
+                continue
+            compiled = self._compiled_shape(fn)
+            kind = compiled.shape.kind
+            if kind == "divisible":
+                self._ensure_div_index(fn, compiled)
+            elif kind == "nearest":
+                self._ensure_kd_index(fn, compiled)
+            elif kind == "extreme":
+                if fn.name not in self._batches:
+                    self._build_extreme_batches(fn, compiled)
+                # dynamic (unhinted) call sites fall back to the scan
+                self._ensure_row_index(fn, compiled)
+            else:
+                self._ensure_row_index(fn, compiled)
+
     def _should_apply(self, delta: TableDelta | None) -> bool:
         if self.maintenance == "rebuild" or delta is None or self._env is None:
             return False
         if not (self._div_index or self._kd_index or self._row_index):
             return False  # nothing retained to maintain
         if self.maintenance == "auto":
+            if (
+                self.auto_policy == "ewma"
+                and self._rebuild_cost is not None
+                and self._delta_cost is not None
+            ):
+                # cost crossover from observed timing history: patch the
+                # retained structures only while the predicted delta cost
+                # undercuts the predicted from-scratch build
+                self._bump("auto_ewma_decisions")
+                return (
+                    delta.changed * self._delta_cost
+                    <= delta.base_size * self._rebuild_cost
+                )
+            # bootstrap (and auto_policy="threshold"): the original
+            # single changed-fraction rule
             return delta.fraction <= self.incremental_threshold
         return True
+
+    # -- EWMA cost model (auto_policy="ewma") -------------------------------------
+
+    #: Smoothing factor: ~last 3 observations dominate, so the policy
+    #: adapts within a few ticks when the workload's churn regime shifts.
+    _EWMA_ALPHA = 0.3
+
+    def _note_build(self, seconds: float, rows: int) -> None:
+        """Record one from-scratch structure build (accumulated until the
+        next begin_tick folds it into the rebuild-cost EWMA)."""
+        self._pending_build_seconds += seconds
+        self._pending_build_rows += rows
+
+    def _fold_build_costs(self) -> None:
+        if not self._pending_build_rows:
+            return
+        per_row = self._pending_build_seconds / self._pending_build_rows
+        self._rebuild_cost = self._ewma(self._rebuild_cost, per_row)
+        self._pending_build_seconds = 0.0
+        self._pending_build_rows = 0
+
+    def _observe_delta_cost(self, seconds: float, changed: int) -> None:
+        per_change = seconds / max(changed, 1)
+        self._delta_cost = self._ewma(self._delta_cost, per_change)
+
+    @classmethod
+    def _ewma(cls, current: float | None, sample: float) -> float:
+        if current is None:
+            return sample
+        return current + cls._EWMA_ALPHA * (sample - current)
+
+    def delta_budget(self, new_size: int) -> int:
+        """Largest delta (changed rows) still worth capturing for "auto".
+
+        The engine's change capture bails out past this many changed
+        rows, since ``_should_apply`` would discard the delta anyway.
+        Mirrors the active policy: the EWMA crossover once both cost
+        estimates have samples, the fraction threshold before that.
+        """
+        if (
+            self.auto_policy == "ewma"
+            and self._rebuild_cost is not None
+            and self._delta_cost is not None
+            and self._delta_cost > 0
+        ):
+            return int(new_size * self._rebuild_cost / self._delta_cost)
+        return int(self.incremental_threshold * new_size)
+
+    # -- sweep-batch reuse across ticks -------------------------------------------
+
+    def _retained_batches(
+        self,
+        delta: TableDelta,
+        new_hints: list[tuple[CallHint, list[Mapping[str, object]]]],
+    ) -> dict[str, dict[tuple, object]]:
+        """Sweep batches from last tick that stay exact under *delta*.
+
+        A function's batch is retained when (a) no changed row passes its
+        build filter, so the source partition that was swept is
+        untouched, and (b) its hinted probe group is identical -- same
+        call sites over the same unit keys, none of which changed.
+        Unchanged units have value-equal rows, and hinted argument terms
+        depend only on the unit row and constants, so both the probe
+        signatures and the sweep answers are guaranteed to reproduce.
+        """
+        if not self._batches:
+            return {}
+        out: dict[str, dict[tuple, object]] = {}
+        quiet = delta.changed == 0
+        changed_rows = None
+        changed_keys: set | None = None
+        for name, batch in self._batches.items():
+            compiled = self._compiled.get(name)
+            if compiled is None:
+                continue
+            keep = compiled.build_filter
+            if not quiet:
+                if keep is None:
+                    continue  # every row is a source; any change dirties it
+                if changed_rows is None:
+                    changed_rows = list(delta.inserted) + list(delta.deleted)
+                    for old, new in delta.updated:
+                        changed_rows.append(old)
+                        changed_rows.append(new)
+                if any(keep(row) for row in changed_rows):
+                    continue
+            old_fp = self._probe_fingerprint(name, self._hints)
+            new_fp = self._probe_fingerprint(name, new_hints)
+            if old_fp != new_fp:
+                continue
+            if not quiet:
+                if changed_keys is None:
+                    key_attr = self.key_attr
+                    changed_keys = {
+                        row[key_attr] for row in changed_rows
+                    }
+                if changed_keys and any(
+                    key in changed_keys
+                    for _, keys in new_fp
+                    for key in keys
+                ):
+                    continue
+            out[name] = batch
+            self._bump("sweep_reuse")
+        return out
+
+    def _probe_fingerprint(
+        self, name: str, hints: list[tuple[CallHint, list[Mapping[str, object]]]]
+    ) -> tuple:
+        key_attr = self.key_attr
+        return tuple(
+            (hint, tuple(u[key_attr] for u in units))
+            for hint, units in hints
+            if hint.function == name
+        )
 
     def _apply_delta(self, delta: TableDelta) -> None:
         for name, index in self._div_index.items():
@@ -397,7 +602,27 @@ class IndexedEvaluator:
         shape: AggregateShape,
         probe_ctx: EvalContext,
     ) -> list:
+        """Sub-indexes matching the probe's category constraints.
+
+        With sharding active every logical category group is split into
+        per-shard instances; probes walk shards in ascending id so the
+        cross-shard answer merge (moments, nearest candidates, row
+        concatenation) happens in one deterministic order.
+        """
         eq_vals, neq_vals = self._cat_values(shape, probe_ctx)
+        if self.shard_of is not None:
+            if not neq_vals:
+                groups = []
+                for shard in range(self.num_shards):
+                    group = index.probe((shard,) + eq_vals)
+                    if group is not None:
+                        groups.append(group)
+                return groups
+            return [
+                group
+                for key, group in index.groups.items()
+                if self._group_matches(key[1:], eq_vals, neq_vals)
+            ]
         if not neq_vals:
             group = index.probe(eq_vals)
             return [group] if group is not None else []
@@ -437,16 +662,14 @@ class IndexedEvaluator:
 
     # -- divisible aggregates (Figure 8) -----------------------------------------
 
-    def _eval_divisible(
-        self,
-        fn: AggregateFunction,
-        compiled: _CompiledShape,
-        probe_ctx: EvalContext,
-    ) -> object:
-        shape = compiled.shape
+    def _ensure_div_index(
+        self, fn: AggregateFunction, compiled: _CompiledShape
+    ) -> PartitionedIndex:
         index = self._div_index.get(fn.name)
         if index is None:
             self._bump("build_divisible")
+            shape = compiled.shape
+            t0 = time.perf_counter()
             rows = self._filtered_rows(compiled)
             index = PartitionedIndex(
                 rows,
@@ -459,8 +682,20 @@ class IndexedEvaluator:
                 ),
                 row_insert=GroupAggIndex.insert,
                 row_delete=GroupAggIndex.delete,
+                shard_of=self.shard_of,
             )
+            self._note_build(time.perf_counter() - t0, len(rows))
             self._div_index[fn.name] = index
+        return index
+
+    def _eval_divisible(
+        self,
+        fn: AggregateFunction,
+        compiled: _CompiledShape,
+        probe_ctx: EvalContext,
+    ) -> object:
+        shape = compiled.shape
+        index = self._ensure_div_index(fn, compiled)
         self._bump("probe_divisible")
 
         groups = self._matching_groups(index, shape, probe_ctx)
@@ -490,16 +725,14 @@ class IndexedEvaluator:
 
     # -- nearest neighbour (Section 5.3.2) ----------------------------------------
 
-    def _eval_nearest(
-        self,
-        fn: AggregateFunction,
-        compiled: _CompiledShape,
-        probe_ctx: EvalContext,
-    ) -> object:
-        shape = compiled.shape
+    def _ensure_kd_index(
+        self, fn: AggregateFunction, compiled: _CompiledShape
+    ) -> PartitionedIndex:
         index = self._kd_index.get(fn.name)
         if index is None:
             self._bump("build_kdtree")
+            shape = compiled.shape
+            t0 = time.perf_counter()
             rows = self._filtered_rows(compiled)
             ax, ay = shape.nearest_attrs
             key_attr = self.key_attr
@@ -523,8 +756,20 @@ class IndexedEvaluator:
                 ),
                 row_insert=kd_insert,
                 row_delete=kd_delete,
+                shard_of=self.shard_of,
             )
+            self._note_build(time.perf_counter() - t0, len(rows))
             self._kd_index[fn.name] = index
+        return index
+
+    def _eval_nearest(
+        self,
+        fn: AggregateFunction,
+        compiled: _CompiledShape,
+        probe_ctx: EvalContext,
+    ) -> object:
+        shape = compiled.shape
+        index = self._ensure_kd_index(fn, compiled)
         self._bump("probe_kdtree")
 
         groups = self._matching_groups(index, shape, probe_ctx)
@@ -593,12 +838,13 @@ class IndexedEvaluator:
         args: list[object],
         probe_ctx: EvalContext,
     ) -> object:
-        if fn.name not in self._batch_ready:
-            self._build_extreme_batches(fn, compiled)
-        signature = (fn.name, _args_signature(args, self.key_attr))
-        if signature in self._batch:
+        batch = self._batches.get(fn.name)
+        if batch is None:
+            batch = self._build_extreme_batches(fn, compiled)
+        signature = _args_signature(args, self.key_attr)
+        if signature in batch:
             self._bump("probe_sweep")
-            result = self._batch[signature]
+            result = batch[signature]
             if result is None:
                 return None
             value, row = result
@@ -608,24 +854,30 @@ class IndexedEvaluator:
 
     def _build_extreme_batches(
         self, fn: AggregateFunction, compiled: _CompiledShape
-    ) -> None:
+    ) -> dict[tuple, object]:
         """Run the Figure-9 sweeps for every hinted call site of *fn*.
 
         Probes are grouped by (category values, range extents); each
-        group with constant extents gets one sweep per source partition,
-        and per-probe results merge across the partitions its eq/neq
-        constraints select.
+        group with constant extents gets one sweep per source partition
+        (per shard when sharding is active), and per-probe results merge
+        across the partitions its eq/neq constraints select via
+        ``(value, key)`` candidates, so the merge order -- and therefore
+        the shard count -- can never change an answer.
         """
-        self._batch_ready.add(fn.name)
+        batch: dict[tuple, object] = {}
+        self._batches[fn.name] = batch
         self._bump("build_sweep")
         shape = compiled.shape
         key_attr = self.key_attr
         constants = self.registry.constants
+        shard_of = self.shard_of
 
         sources = self._filtered_rows(compiled)
         partitions: dict[tuple, list] = {}
         for row in sources:
             key = tuple(row[a] for a in shape.cat_attrs)
+            if shard_of is not None:
+                key = (shard_of(row),) + key
             partitions.setdefault(key, []).append(row)
 
         ax, ay = shape.range_attrs  # classifier guarantees exactly 2 dims
@@ -661,14 +913,14 @@ class IndexedEvaluator:
                     if not eval_cond(conjunct, probe_ctx):
                         skip = True
                         break
-                signature = (fn.name, _args_signature(arg_values, key_attr))
+                signature = _args_signature(arg_values, key_attr)
                 if skip:
                     # u-only predicate failed: empty selection
-                    self._batch[signature] = None
+                    batch[signature] = None
                     continue
                 bounds = self._bounds(shape, probe_ctx)
                 if bounds is None:
-                    self._batch[signature] = None
+                    batch[signature] = None
                     continue
                 (xlo, xhi), (ylo, yhi) = bounds
                 rx = (xhi - xlo) / 2.0
@@ -679,11 +931,13 @@ class IndexedEvaluator:
                 groups.setdefault(group_key, []).append((signature, center))
 
         kind = shape.extreme_kind
+        sharded = shard_of is not None
         for (eq_vals, neq_vals, rx, ry), probes in groups.items():
             centers = [c for _, c in probes]
             merged: list = [None] * len(probes)
             for part_key, (xy, values, keys, by_key) in part_data.items():
-                if not self._group_matches(part_key, eq_vals, neq_vals):
+                cat_key = part_key[1:] if sharded else part_key
+                if not self._group_matches(cat_key, eq_vals, neq_vals):
                     continue
                 results = sweep_arg_minmax(
                     xy, values, keys, centers, rx, ry, kind
@@ -697,13 +951,32 @@ class IndexedEvaluator:
                         merged[i] = (candidate, by_key[key])
             for (signature, _), entry in zip(probes, merged):
                 if entry is None:
-                    self._batch[signature] = None
+                    batch[signature] = None
                 else:
                     (ordered_value, _), row = entry
                     value = ordered_value if kind == "min" else -ordered_value
-                    self._batch[signature] = (value, row)
+                    batch[signature] = (value, row)
+        return batch
 
     # -- fallback: partitioned scan -------------------------------------------------
+
+    def _ensure_row_index(
+        self, fn: AggregateFunction, compiled: _CompiledShape
+    ) -> PartitionedIndex:
+        index = self._row_index.get(fn.name)
+        if index is None:
+            self._bump("build_rows")
+            t0 = time.perf_counter()
+            rows = self._filtered_rows(compiled)
+            index = PartitionedIndex(
+                rows,
+                compiled.shape.cat_attrs,
+                factory=list,
+                shard_of=self.shard_of,
+            )
+            self._note_build(time.perf_counter() - t0, len(rows))
+            self._row_index[fn.name] = index
+        return index
 
     def _eval_fallback(
         self,
@@ -713,13 +986,7 @@ class IndexedEvaluator:
         ctx: EvalContext,
     ) -> object:
         shape = compiled.shape
-        index = self._row_index.get(fn.name)
-        if index is None:
-            self._bump("build_rows")
-            index = PartitionedIndex(
-                self._filtered_rows(compiled), shape.cat_attrs, factory=list
-            )
-            self._row_index[fn.name] = index
+        index = self._ensure_row_index(fn, compiled)
         self._bump("probe_scan")
         probe_ctx = ctx.bind(bindings)
         groups = self._matching_groups(index, shape, probe_ctx)

@@ -1,0 +1,189 @@
+"""Worker-process side of the sharded tick pipeline.
+
+``parallelism="processes"`` runs the decision stage of each shard in a
+pool of long-lived worker processes.  Workers cannot share the engine's
+in-memory state, so the protocol is explicitly message-shaped -- the
+same shape a future distributed (multi-host) engine would use:
+
+* **at pool start** each worker builds its own game state -- registry,
+  compiled scripts, decision runners, and a private
+  :class:`~repro.engine.evaluator.IndexedEvaluator` -- from a picklable
+  *game factory* (a module-level callable returning a
+  :class:`WorkerGame`).  Heavy unpicklable objects (compiled closures,
+  index structures) never cross the process boundary;
+* **per tick** the parent broadcasts the environment rows (plain dicts)
+  plus the indexes of the shard's unit rows; the worker evaluates its
+  shard's decisions against the *full* environment -- aggregate queries
+  range over all of ``E`` regardless of who asks -- and returns plain
+  effect rows and :class:`~repro.engine.effects.AoeRecord` tuples.
+
+Determinism: the per-tick random function is counter-mode
+(``TickRandom`` is a pure function of seed, tick, unit key, and draw
+index) and every evaluator merge tie-breaks on unit keys, so worker
+answers are bit-identical to the serial engine's no matter how shards
+are scheduled.  Worker evaluators rebuild their indexes from the
+broadcast rows every tick (the paper's default strategy); incremental
+maintenance is a per-process memory optimisation that cannot change
+trajectories, so the parent's ``index_maintenance`` setting does not
+need to reach the workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..env.schema import Schema
+from ..env.table import EnvironmentTable
+from ..sgl import ast
+from ..sgl.analysis import analyze_script
+from ..sgl.builtins import FunctionRegistry
+from ..sgl.evalterm import EvalContext
+from .decision import DecisionRunner
+from .effects import AoeRecord
+from .evaluator import IndexedEvaluator, NaiveEvaluator, collect_call_hints
+from .rng import TickRandom
+
+
+@dataclass
+class WorkerGame:
+    """Everything a worker process needs to run decisions.
+
+    Built inside the worker by the game factory, so none of it is ever
+    pickled.  *selector* names the row attribute whose value picks the
+    unit's script (e.g. ``"unittype"``).
+    """
+
+    schema: Schema
+    registry: FunctionRegistry
+    scripts: dict[str, ast.Script]
+    selector: str = "unittype"
+
+
+#: A picklable, module-level callable producing the worker's game state.
+GameFactory = Callable[[], WorkerGame]
+
+
+@dataclass
+class _Compiled:
+    runner: DecisionRunner
+    hints: list
+
+
+class _WorkerState:
+    """Per-process engine fragment: runners, hints, evaluator, rng."""
+
+    def __init__(self, game: WorkerGame, payload: Mapping[str, object]):
+        self.game = game
+        self.indexed = payload["mode"] == "indexed"
+        self.optimize_aoe = bool(payload["optimize_aoe"])
+        self.rng = TickRandom(int(payload["seed"]), key_attr=game.schema.key)
+        if self.indexed:
+            self.evaluator = IndexedEvaluator(
+                game.registry,
+                cascade=bool(payload["cascade"]),
+                key_attr=game.schema.key,
+            )
+        else:
+            self.evaluator = NaiveEvaluator()
+        self._compiled: dict[str, _Compiled] = {}
+
+    def compiled_for(self, selector_value: object) -> _Compiled:
+        entry = self._compiled.get(selector_value)
+        if entry is None:
+            script = self.game.scripts[selector_value]
+            runner = DecisionRunner(
+                script,
+                self.game.registry,
+                index_actions=self.indexed,
+                defer_aoe=self.indexed and self.optimize_aoe,
+            )
+            analysis = analyze_script(
+                script, self.game.registry, self.game.schema
+            )
+            unit_params = {
+                fn.name: fn.params[0] for fn in script.functions.values()
+            }
+            entry = _Compiled(
+                runner=runner,
+                hints=collect_call_hints(analysis, unit_params),
+            )
+            self._compiled[selector_value] = entry
+        return entry
+
+
+_STATE: _WorkerState | None = None
+
+
+def _init_worker(factory: GameFactory, payload: dict) -> None:
+    global _STATE
+    _STATE = _WorkerState(factory(), payload)
+
+
+def _decide_shards(
+    tick: int,
+    rows: list[dict[str, object]],
+    shard_index_lists: list[tuple[int, list[int]]],
+) -> list[tuple[int, list[dict[str, object]], list[AoeRecord]]]:
+    """Run the decision stage for several shards against one broadcast.
+
+    *shard_index_lists* pairs each shard id with the row indexes of its
+    units.  Bundling a worker's shards into one task means the parent
+    pickles the row list once per worker per tick, not once per shard.
+    Results come back per shard (tagged with the shard id) so the
+    parent's ⊕-merge keeps its ascending-shard-id order.
+    """
+    state = _STATE
+    if state is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker not initialised")
+    game = state.game
+    env = EnvironmentTable(game.schema)
+    env.rows.extend(rows)
+    state.rng.advance(tick)
+
+    selector = game.selector
+    # one script grouping per shard: decisions stay shard-at-a-time
+    shard_groups: list[tuple[int, dict[object, list]]] = []
+    for shard_id, indices in shard_index_lists:
+        units_by_script: dict[object, list] = {}
+        for i in indices:
+            row = rows[i]
+            units_by_script.setdefault(row[selector], []).append(row)
+        shard_groups.append((shard_id, units_by_script))
+
+    by_key = None
+    if state.indexed:
+        hint_pairs = []
+        for _, units_by_script in shard_groups:
+            for selector_value, units in units_by_script.items():
+                for hint in state.compiled_for(selector_value).hints:
+                    hint_pairs.append((hint, units))
+        state.evaluator.begin_tick(env, hint_pairs)
+        by_key = env.by_key()
+
+    rng = state.rng
+    registry = game.registry
+    evaluator = state.evaluator
+
+    def ctx_factory(unit: Mapping[str, object]) -> EvalContext:
+        return EvalContext(
+            env=env,
+            registry=registry,
+            agg_eval=evaluator,
+            rng=rng,
+            bindings={},
+            unit=unit,
+        )
+
+    out: list[tuple[int, list[dict[str, object]], list[AoeRecord]]] = []
+    for shard_id, units_by_script in shard_groups:
+        effect_rows: list[dict[str, object]] = []
+        aoe_records: list[AoeRecord] = []
+        for selector_value, units in units_by_script.items():
+            runner = state.compiled_for(selector_value).runner
+            for unit in units:
+                runner.run_unit(
+                    unit, ctx_factory, by_key, effect_rows, aoe_records
+                )
+        out.append((shard_id, effect_rows, aoe_records))
+    return out

@@ -1,0 +1,221 @@
+"""Sharded environments: partitioning ``E`` for the parallel tick pipeline.
+
+The combination operator ``⊕`` is associative and commutative (Eq. 3),
+so a tick's effect tables can be computed per-partition of ``E`` and
+merged in any fixed order.  This module provides the partitioning half
+of that bargain:
+
+* :func:`make_sharder` builds a ``row -> shard id`` function from a
+  configurable shard key -- a hashed attribute (unit key, player) or a
+  spatial strip of the map;
+* :class:`ShardedEnvironment` is a *view* of one flat
+  :class:`~repro.env.table.EnvironmentTable` as ``num_shards`` per-shard
+  ``EnvironmentTable`` stores.  Shards share the flat table's row dicts
+  (no copies) and preserve the flat table's row order within each shard,
+  which is what keeps sharded trajectories bit-identical to the
+  single-shard engine: row *values* entering ``⊕`` are order-independent
+  and row *order* is always taken from the flat table;
+* :meth:`ShardedEnvironment.route_delta` splits a
+  :class:`~repro.env.table.TableDelta` (the engine's per-tick change
+  capture) into per-shard deltas, turning an update that crosses a shard
+  boundary -- a unit walking out of its spatial strip -- into a delete
+  in the old shard plus an insert in the new one.
+
+The engine (``repro.engine.clock``) partitions at tick start and runs
+the decision / effect stages shard-at-a-time (serially or in parallel
+workers); the indexed evaluator keys its hash layers by shard id so
+index maintenance stays shard-local.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Sequence
+
+from .table import EnvironmentTable, TableDelta
+
+Row = Mapping[str, object]
+#: A shard function: row -> shard id in ``range(num_shards)``.
+ShardFn = Callable[[Row], int]
+
+
+class ShardingError(ValueError):
+    """Raised for invalid shard configurations."""
+
+
+def make_sharder(
+    shard_by: str,
+    num_shards: int,
+    *,
+    extent: float | None = None,
+    x_attr: str = "posx",
+) -> ShardFn:
+    """Build a deterministic ``row -> shard id`` function.
+
+    *shard_by* selects the partitioning scheme:
+
+    * ``"spatial"`` -- split the map into ``num_shards`` vertical strips
+      of width ``extent / num_shards`` over *x_attr* (requires *extent*,
+      the exclusive upper bound of the coordinate, e.g. the grid size).
+      Spatially local shards keep most of a unit's interactions
+      shard-local, the precondition for future distributed workers;
+    * any attribute name (``"key"``, ``"player"``, ``"unittype"``, ...)
+      -- hash the attribute value with the process-stable
+      :func:`~repro.engine.rng.stable_hash` and take it modulo
+      ``num_shards``.  Stable hashing matters: ``PYTHONHASHSEED`` must
+      never change which shard a unit lands in, or parallel worker
+      processes would disagree with the parent about the partition.
+
+    The returned function is pure, cheap (no allocation), and safe to
+    call from worker threads.
+    """
+    if num_shards < 1:
+        raise ShardingError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards == 1:
+        return lambda row: 0
+    if shard_by == "spatial":
+        if extent is None or extent <= 0:
+            raise ShardingError(
+                "shard_by='spatial' needs the positive coordinate extent "
+                "(e.g. the grid size)"
+            )
+        width = extent / num_shards
+        top = num_shards - 1
+
+        def spatial_shard(row: Row, _w=width, _x=x_attr, _top=top) -> int:
+            shard = int(row[_x] / _w)
+            if shard < 0:
+                return 0
+            return shard if shard < _top else _top
+
+        return spatial_shard
+
+    # hashed attribute: lazy import keeps env free of an engine import
+    # at module load (engine.clock itself imports env.table)
+    from ..engine.rng import stable_hash
+
+    def hashed_shard(
+        row: Row, _attr=shard_by, _n=num_shards, _hash=stable_hash
+    ) -> int:
+        return _hash(row[_attr]) % _n
+
+    return hashed_shard
+
+
+class ShardedEnvironment:
+    """A partition of one flat environment into per-shard tables.
+
+    The flat table stays authoritative: shards hold *the same row dicts*
+    in the same relative order, so reading a shard is reading a slice of
+    ``E`` and mutating a row through either view is the same mutation.
+    ``EnvironmentTable`` remains the per-shard store -- everything that
+    consumes a table (the decision runner, index builders, the algebra
+    executor) works unchanged on a shard.
+    """
+
+    __slots__ = ("flat", "num_shards", "shard_of", "shards")
+
+    def __init__(
+        self,
+        flat: EnvironmentTable,
+        num_shards: int,
+        shard_of: ShardFn,
+    ):
+        if num_shards < 1:
+            raise ShardingError(f"num_shards must be >= 1, got {num_shards}")
+        self.flat = flat
+        self.num_shards = num_shards
+        self.shard_of = shard_of
+        shards = [EnvironmentTable(flat.schema) for _ in range(num_shards)]
+        if num_shards == 1:
+            shards[0].rows.extend(flat.rows)
+        else:
+            lists = [shard.rows for shard in shards]
+            for row in flat.rows:
+                shard = shard_of(row)
+                if not 0 <= shard < num_shards:
+                    raise ShardingError(
+                        f"shard function returned {shard!r} for row "
+                        f"{row.get(flat.schema.key)!r}; expected "
+                        f"0..{num_shards - 1}"
+                    )
+                lists[shard].append(row)
+        self.shards = shards
+
+    @property
+    def schema(self):
+        return self.flat.schema
+
+    def shard(self, i: int) -> EnvironmentTable:
+        return self.shards[i]
+
+    def __iter__(self) -> Iterator[EnvironmentTable]:
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def sizes(self) -> list[int]:
+        return [len(shard) for shard in self.shards]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEnvironment({self.num_shards} shards, "
+            f"sizes={self.sizes()}, {self.schema!r})"
+        )
+
+    # -- delta routing ------------------------------------------------------------
+
+    def route_delta(self, delta: TableDelta) -> list[TableDelta]:
+        """Split a flat-table delta into one delta per shard.
+
+        Inserted and deleted rows route to the shard they (will) live
+        in.  An updated row whose shard assignment moved -- e.g. a unit
+        crossing a spatial strip boundary -- becomes a delete in the old
+        shard and an insert in the new one, which is exactly how the
+        per-shard index structures must process it.  Each routed delta's
+        ``base_size`` is the corresponding shard's current size, so the
+        per-shard change fraction feeds the same maintenance cost model
+        as the flat fraction does.
+        """
+        shard_of = self.shard_of
+        out = [
+            TableDelta(base_size=len(shard)) for shard in self.shards
+        ]
+        for row in delta.inserted:
+            out[shard_of(row)].inserted.append(row)
+        for row in delta.deleted:
+            out[shard_of(row)].deleted.append(row)
+        for old, new in delta.updated:
+            old_shard = shard_of(old)
+            new_shard = shard_of(new)
+            if old_shard == new_shard:
+                out[old_shard].updated.append((old, new))
+            else:
+                out[old_shard].deleted.append(old)
+                out[new_shard].inserted.append(new)
+        return out
+
+    # -- reassembly ---------------------------------------------------------------
+
+    def merged(self) -> EnvironmentTable:
+        """A fresh flat table concatenating the shards in shard order.
+
+        For round-tripping and tests; the engine never needs this
+        because the flat table stays authoritative.
+        """
+        out = EnvironmentTable(self.schema)
+        for shard in self.shards:
+            out.rows.extend(shard.rows)
+        return out
+
+
+def partition_rows(
+    rows: Sequence[Row], num_shards: int, shard_of: ShardFn
+) -> list[list[Row]]:
+    """Partition a row sequence into shard-ordered lists (order-stable)."""
+    if num_shards == 1:
+        return [list(rows)]
+    out: list[list[Row]] = [[] for _ in range(num_shards)]
+    for row in rows:
+        out[shard_of(row)].append(row)
+    return out

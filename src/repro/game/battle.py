@@ -16,12 +16,28 @@ from typing import Mapping
 from ..engine.clock import EngineConfig, SimulationEngine, TickStats
 from ..engine.movement import Grid, run_movement_phase
 from ..engine.rng import TickRandom
+from ..engine.shardexec import WorkerGame
 from ..env.combine import combine_all
 from ..env.schema import battle_schema
 from ..env.table import EnvironmentTable
 from .scenario import DEFAULT_COMPOSITION, two_army_battle, uniform_battle
 from .scripts import build_registry, build_scripts
 from .units import GAME_CONSTANTS
+
+
+def battle_worker_game() -> WorkerGame:
+    """Game factory for ``parallelism="processes"`` worker processes.
+
+    Module-level (hence picklable by reference); each worker builds its
+    own registry and compiled scripts, so nothing heavyweight crosses
+    the process boundary.
+    """
+    return WorkerGame(
+        schema=battle_schema(),
+        registry=build_registry(),
+        scripts=build_scripts(),
+        selector="unittype",
+    )
 
 
 @dataclass
@@ -64,7 +80,20 @@ class BattleSimulation:
         bit-identical in all three.
     incremental_threshold:
         Changed-row fraction above which ``"auto"`` rebuilds instead of
-        applying the delta (default 0.25).
+        applying the delta (default 0.25; the bootstrap rule when
+        *auto_policy* is ``"ewma"``).
+    auto_policy:
+        ``"ewma"`` (default) learns the rebuild-vs-delta cost crossover
+        from timing history; ``"threshold"`` keeps the single
+        changed-fraction rule.
+    num_shards / shard_by / parallelism / max_workers:
+        The sharded tick pipeline: partition ``E`` into *num_shards*
+        shards by *shard_by* (``"spatial"`` = vertical map strips,
+        otherwise a hashed const attribute such as ``"key"`` or
+        ``"player"``) and run per-shard decision/effect stages under
+        *parallelism* (``"serial"`` | ``"threads"`` | ``"processes"``).
+        Trajectories are bit-identical to the 1-shard serial engine for
+        every combination (all battle measures are integer-valued).
     """
 
     def __init__(
@@ -81,6 +110,11 @@ class BattleSimulation:
         cascade: bool = True,
         index_maintenance: str = "rebuild",
         incremental_threshold: float = 0.25,
+        auto_policy: str = "ewma",
+        num_shards: int = 1,
+        shard_by: str = "key",
+        parallelism: str = "serial",
+        max_workers: int | None = None,
     ):
         self.schema = battle_schema()
         make = uniform_battle if formation == "uniform" else two_army_battle
@@ -116,6 +150,13 @@ class BattleSimulation:
                 seed=seed,
                 index_maintenance=index_maintenance,
                 incremental_threshold=incremental_threshold,
+                auto_policy=auto_policy,
+                num_shards=num_shards,
+                shard_by=shard_by,
+                spatial_extent=self.grid_size,
+                parallelism=parallelism,
+                max_workers=max_workers,
+                worker_factory=battle_worker_game,
             ),
         )
 
@@ -124,6 +165,16 @@ class BattleSimulation:
     @property
     def environment(self) -> EnvironmentTable:
         return self.engine.env
+
+    def close(self) -> None:
+        """Shut down the engine's worker pool (no-op for serial runs)."""
+        self.engine.close()
+
+    def __enter__(self) -> "BattleSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def tick(self) -> TickStats:
         stats = self.engine.tick()

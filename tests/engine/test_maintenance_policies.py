@@ -1,0 +1,293 @@
+"""The EWMA auto-maintenance policy and cross-tick sweep-batch reuse."""
+
+import pytest
+
+from repro.engine.evaluator import (
+    IndexedEvaluator,
+    NaiveEvaluator,
+    collect_call_hints,
+)
+from repro.env.schema import battle_schema
+from repro.env.table import TableDelta, diff_by_key
+from repro.game.battle import BattleSimulation
+from repro.sgl.analysis import analyze_script
+from repro.sgl.evalterm import EvalContext
+from repro.sgl.parser import parse_script
+from tests.conftest import make_env
+
+
+def make_ctx(env, registry, agg_eval, unit):
+    return EvalContext(
+        env=env,
+        registry=registry,
+        agg_eval=agg_eval,
+        rng=lambda row, i: 0,
+        bindings={"u": unit},
+        unit=unit,
+    )
+
+
+class TestEwmaPolicy:
+    def test_invalid_policy_rejected(self, registry):
+        with pytest.raises(ValueError):
+            IndexedEvaluator(registry, auto_policy="sometimes")
+
+    def test_bootstrap_uses_threshold(self, registry):
+        evaluator = IndexedEvaluator(
+            registry, maintenance="auto", incremental_threshold=0.25
+        )
+        evaluator._div_index["x"] = object()  # pretend something is retained
+        small = TableDelta(base_size=100)
+        small.inserted = [{"key": i} for i in range(10)]
+        big = TableDelta(base_size=100)
+        big.inserted = [{"key": i} for i in range(40)]
+        evaluator._env = object()
+        assert evaluator._should_apply(small)
+        assert not evaluator._should_apply(big)
+
+    def test_crossover_overrides_threshold(self, registry):
+        """With learned costs, the fraction threshold stops mattering:
+        a 40%-churn delta is applied when deltas are cheap, and a
+        5%-churn delta is rejected when deltas are expensive."""
+        evaluator = IndexedEvaluator(
+            registry, maintenance="auto", incremental_threshold=0.25
+        )
+        evaluator._env = object()
+        evaluator._div_index["x"] = object()
+
+        evaluator._rebuild_cost = 1e-6  # per row
+        evaluator._delta_cost = 1e-6  # per changed row
+        big = TableDelta(base_size=100)
+        big.inserted = [{"key": i} for i in range(40)]
+        assert evaluator._should_apply(big)  # 40 * 1e-6 < 100 * 1e-6
+
+        evaluator._delta_cost = 1e-4  # deltas 100x costlier than builds
+        small = TableDelta(base_size=100)
+        small.inserted = [{"key": i} for i in range(5)]
+        assert not evaluator._should_apply(small)  # 5e-4 > 1e-4
+        assert evaluator.stats.get("auto_ewma_decisions") == 2
+
+    def test_threshold_policy_ignores_cost_model(self, registry):
+        evaluator = IndexedEvaluator(
+            registry,
+            maintenance="auto",
+            auto_policy="threshold",
+            incremental_threshold=0.25,
+        )
+        evaluator._env = object()
+        evaluator._div_index["x"] = object()
+        evaluator._rebuild_cost = 1.0
+        evaluator._delta_cost = 1e-9  # would scream "apply"
+        big = TableDelta(base_size=100)
+        big.inserted = [{"key": i} for i in range(40)]
+        assert not evaluator._should_apply(big)
+
+    def test_delta_budget_tracks_policy(self, registry):
+        evaluator = IndexedEvaluator(
+            registry, maintenance="auto", incremental_threshold=0.25
+        )
+        # bootstrap: fraction threshold
+        assert evaluator.delta_budget(400) == 100
+        # learned: crossover point
+        evaluator._rebuild_cost = 2e-6
+        evaluator._delta_cost = 1e-6
+        assert evaluator.delta_budget(400) == 800
+
+    def test_costs_learned_from_real_ticks(self, registry, schema):
+        env = make_env(schema, n=30, grid=30, seed=21)
+        evaluator = IndexedEvaluator(
+            registry, maintenance="auto", incremental_threshold=0.9
+        )
+        fn = registry.aggregates["CountEnemiesInRange"]
+        evaluator.begin_tick(env)
+        for unit in env.rows[:4]:
+            ctx = make_ctx(env, registry, evaluator, unit)
+            evaluator.evaluate(fn, [unit, unit["sight"]], ctx)
+        assert evaluator._rebuild_cost is None  # folds at next begin_tick
+
+        new = env.copy()
+        new.rows[0]["posx"] = (new.rows[0]["posx"] + 1) % 30
+        delta = diff_by_key(env, new)
+        evaluator.begin_tick(new, delta=delta)
+        assert evaluator._rebuild_cost is not None and (
+            evaluator._rebuild_cost > 0
+        )
+        assert evaluator._delta_cost is not None and evaluator._delta_cost > 0
+
+    def test_engine_trajectories_identical_across_policies(self):
+        signatures = []
+        for auto_policy in ("ewma", "threshold"):
+            sim = BattleSimulation(
+                24,
+                seed=5,
+                density=0.02,
+                index_maintenance="auto",
+                auto_policy=auto_policy,
+            )
+            sim.run(4)
+            signatures.append(sim.state_signature())
+        assert signatures[0] == signatures[1]
+
+
+SWEEP_SCRIPT = """
+main(u) {
+  (let w = WeakestWoundedFriendlyInRange(u, u.sight)) {
+    perform UseWeapon(u)
+  }
+}
+"""
+
+
+class TestSweepBatchReuse:
+    """A Figure-9 batch survives a tick when the delta touched neither
+    its source partition nor its probe group."""
+
+    FN = "WeakestWoundedFriendlyInRange"
+
+    def setup_probe(self, registry, schema):
+        env = make_env(schema, n=30, grid=30, seed=9)
+        for row in env.rows[:6]:
+            row["health"] -= 3  # wounded: the sweep's source partition
+        script = parse_script(SWEEP_SCRIPT)
+        analysis = analyze_script(script, registry, schema)
+        (hint,) = collect_call_hints(analysis, {"main": "u"})
+        probes = [r for r in env.rows if r["health"] == r["max_health"]][:4]
+        return env, hint, probes
+
+    def probe_all(self, evaluator, env, registry, probe_keys):
+        fn = registry.aggregates[self.FN]
+        out = []
+        for unit in env.rows:
+            if unit["key"] not in probe_keys:
+                continue
+            ctx = make_ctx(env, registry, evaluator, unit)
+            out.append(evaluator.evaluate(fn, [unit, unit["sight"]], ctx))
+        return out
+
+    def test_batch_reused_when_sources_and_probes_untouched(
+        self, registry, schema
+    ):
+        env, hint, probes = self.setup_probe(registry, schema)
+        probe_keys = {p["key"] for p in probes}
+        evaluator = IndexedEvaluator(registry, maintenance="incremental")
+        evaluator.begin_tick(env, [(hint, probes)])
+        self.probe_all(evaluator, env, registry, probe_keys)
+        assert evaluator.stats.get("build_sweep") == 1
+
+        # a healthy bystander's cooldown ticks: no source, no probe
+        new = env.copy()
+        bystander = next(
+            r
+            for r in new.rows
+            if r["health"] == r["max_health"] and r["key"] not in probe_keys
+        )
+        bystander["cooldown"] += 1
+        delta = diff_by_key(env, new)
+        new_probes = [r for r in new.rows if r["key"] in probe_keys]
+        evaluator.begin_tick(new, [(hint, new_probes)], delta=delta)
+        assert evaluator.stats.get("sweep_reuse") == 1
+
+        got = self.probe_all(evaluator, new, registry, probe_keys)
+        naive = NaiveEvaluator()
+        want = self.probe_all(naive, new, registry, probe_keys)
+        assert got == want
+        assert evaluator.stats.get("build_sweep") == 1  # never rebuilt
+
+    def test_source_change_invalidates(self, registry, schema):
+        env, hint, probes = self.setup_probe(registry, schema)
+        probe_keys = {p["key"] for p in probes}
+        evaluator = IndexedEvaluator(registry, maintenance="incremental")
+        evaluator.begin_tick(env, [(hint, probes)])
+        self.probe_all(evaluator, env, registry, probe_keys)
+
+        new = env.copy()
+        wounded = next(
+            r for r in new.rows if r["health"] < r["max_health"]
+        )
+        wounded["health"] -= 1
+        delta = diff_by_key(env, new)
+        new_probes = [r for r in new.rows if r["key"] in probe_keys]
+        evaluator.begin_tick(new, [(hint, new_probes)], delta=delta)
+        assert evaluator.stats.get("sweep_reuse", 0) == 0
+
+        got = self.probe_all(evaluator, new, registry, probe_keys)
+        want = self.probe_all(NaiveEvaluator(), new, registry, probe_keys)
+        assert got == want
+        assert evaluator.stats.get("build_sweep") == 2
+
+    def test_probe_change_invalidates(self, registry, schema):
+        env, hint, probes = self.setup_probe(registry, schema)
+        probe_keys = {p["key"] for p in probes}
+        evaluator = IndexedEvaluator(registry, maintenance="incremental")
+        evaluator.begin_tick(env, [(hint, probes)])
+        self.probe_all(evaluator, env, registry, probe_keys)
+
+        # a probing unit moves: its hinted arguments change
+        new = env.copy()
+        prober = next(r for r in new.rows if r["key"] in probe_keys)
+        prober["posx"] = (prober["posx"] + 3) % 30
+        delta = diff_by_key(env, new)
+        new_probes = [r for r in new.rows if r["key"] in probe_keys]
+        evaluator.begin_tick(new, [(hint, new_probes)], delta=delta)
+        assert evaluator.stats.get("sweep_reuse", 0) == 0
+
+        got = self.probe_all(evaluator, new, registry, probe_keys)
+        want = self.probe_all(NaiveEvaluator(), new, registry, probe_keys)
+        assert got == want
+
+    def test_probe_group_shrink_invalidates(self, registry, schema):
+        env, hint, probes = self.setup_probe(registry, schema)
+        probe_keys = {p["key"] for p in probes}
+        evaluator = IndexedEvaluator(registry, maintenance="incremental")
+        evaluator.begin_tick(env, [(hint, probes)])
+        self.probe_all(evaluator, env, registry, probe_keys)
+
+        # same env, but one probe left the hinted group
+        delta = diff_by_key(env, env.copy())
+        kept = [r for r in env.rows if r["key"] in probe_keys][:-1]
+        evaluator.begin_tick(env, [(hint, kept)], delta=delta)
+        assert evaluator.stats.get("sweep_reuse", 0) == 0
+
+    def test_empty_delta_retains_filterless_batches(self, registry, schema):
+        """A quiet tick (zero changed rows) must retain every batch,
+        including those of filterless aggregates where any *actual*
+        change would dirty the sources."""
+        env, _, probes = self.setup_probe(registry, schema)
+        probe_keys = {p["key"] for p in probes}
+        script = parse_script(
+            "main(u) { (let w = WeakestEnemyInRange(u, u.sight)) "
+            "{ perform UseWeapon(u) } }"
+        )
+        analysis = analyze_script(script, registry, schema)
+        (hint,) = collect_call_hints(analysis, {"main": "u"})
+        fn = registry.aggregates["WeakestEnemyInRange"]
+        evaluator = IndexedEvaluator(registry, maintenance="incremental")
+        evaluator.begin_tick(env, [(hint, probes)])
+        for unit in probes:
+            ctx = make_ctx(env, registry, evaluator, unit)
+            evaluator.evaluate(fn, [unit, unit["sight"]], ctx)
+        assert evaluator.stats.get("build_sweep") == 1
+
+        quiet = diff_by_key(env, env.copy())
+        assert quiet is not None and quiet.changed == 0
+        new_probes = [r for r in env.rows if r["key"] in probe_keys]
+        evaluator.begin_tick(env, [(hint, new_probes)], delta=quiet)
+        assert evaluator.stats.get("sweep_reuse") == 1
+        for unit in new_probes:
+            ctx = make_ctx(env, registry, evaluator, unit)
+            got = evaluator.evaluate(fn, [unit, unit["sight"]], ctx)
+            want = NaiveEvaluator().evaluate(fn, [unit, unit["sight"]], ctx)
+            assert got == want
+        assert evaluator.stats.get("build_sweep") == 1
+
+    def test_rebuild_mode_never_reuses(self, registry, schema):
+        env, hint, probes = self.setup_probe(registry, schema)
+        probe_keys = {p["key"] for p in probes}
+        evaluator = IndexedEvaluator(registry, maintenance="rebuild")
+        evaluator.begin_tick(env, [(hint, probes)])
+        self.probe_all(evaluator, env, registry, probe_keys)
+        delta = diff_by_key(env, env.copy())
+        evaluator.begin_tick(
+            env, [(hint, list(probes))], delta=delta
+        )
+        assert evaluator.stats.get("sweep_reuse", 0) == 0

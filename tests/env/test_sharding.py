@@ -1,0 +1,143 @@
+"""Sharded environments: partitioning, shard functions, delta routing."""
+
+import pytest
+
+from repro.env.sharding import (
+    ShardedEnvironment,
+    ShardingError,
+    make_sharder,
+    partition_rows,
+)
+from repro.env.table import diff_by_key
+from tests.conftest import make_env
+
+
+class TestMakeSharder:
+    def test_single_shard_is_constant(self, schema):
+        shard_of = make_sharder("key", 1)
+        env = make_env(schema, n=8)
+        assert {shard_of(r) for r in env.rows} == {0}
+
+    def test_hashed_attribute_covers_range_and_is_stable(self, schema):
+        env = make_env(schema, n=64, grid=40, seed=2)
+        shard_of = make_sharder("key", 4)
+        ids = [shard_of(r) for r in env.rows]
+        assert set(ids) <= {0, 1, 2, 3}
+        assert len(set(ids)) > 1  # hashing actually spreads
+        # pure function of the value: a second sharder agrees
+        again = make_sharder("key", 4)
+        assert ids == [again(r) for r in env.rows]
+
+    def test_player_sharding_groups_by_player(self, schema):
+        env = make_env(schema, n=16)
+        shard_of = make_sharder("player", 8)
+        by_player = {}
+        for row in env.rows:
+            by_player.setdefault(row["player"], set()).add(shard_of(row))
+        for shards in by_player.values():
+            assert len(shards) == 1
+
+    def test_spatial_strips_are_ordered(self, schema):
+        env = make_env(schema, n=40, grid=40, seed=3)
+        shard_of = make_sharder("spatial", 4, extent=40)
+        for row in env.rows:
+            assert shard_of(row) == min(3, int(row["posx"] / 10))
+        # out-of-range coordinates clamp instead of overflowing
+        low = dict(env.rows[0], posx=-2)
+        high = dict(env.rows[0], posx=41)
+        assert shard_of(low) == 0
+        assert shard_of(high) == 3
+
+    def test_spatial_requires_extent(self):
+        with pytest.raises(ShardingError):
+            make_sharder("spatial", 4)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ShardingError):
+            make_sharder("key", 0)
+
+
+class TestShardedEnvironment:
+    def test_partition_shares_rows_and_preserves_order(self, schema):
+        env = make_env(schema, n=30, grid=40, seed=1)
+        shard_of = make_sharder("key", 3)
+        sharded = ShardedEnvironment(env, 3, shard_of)
+        assert sharded.num_shards == 3
+        assert sum(sharded.sizes()) == len(env)
+        seen = []
+        for shard_id, shard in enumerate(sharded):
+            previous_index = -1
+            for row in shard.rows:
+                assert shard_of(row) == shard_id
+                # identity, not copies: shards are views of E
+                index = next(
+                    i for i, r in enumerate(env.rows) if r is row
+                )
+                assert index > previous_index  # flat order preserved
+                previous_index = index
+                seen.append(row)
+        assert len(seen) == len(env)
+        assert sharded.merged().multiset_equal(env)
+
+    def test_single_shard_is_the_flat_table(self, schema):
+        env = make_env(schema, n=10)
+        sharded = ShardedEnvironment(env, 1, make_sharder("key", 1))
+        assert sharded.shards[0].rows == env.rows
+
+    def test_bad_shard_function_rejected(self, schema):
+        env = make_env(schema, n=4)
+        with pytest.raises(ShardingError):
+            ShardedEnvironment(env, 2, lambda row: 7)
+
+
+class TestRouteDelta:
+    def test_routes_changes_to_their_shards(self, schema):
+        env = make_env(schema, n=24, grid=40, seed=4)
+        shard_of = make_sharder("spatial", 3, extent=40)
+        sharded = ShardedEnvironment(env, 3, shard_of)
+
+        new = env.copy()
+        # in-shard update: move within the strip
+        moved = new.rows[0]
+        moved["health"] -= 1
+        # cross-shard update: teleport to the far strip
+        crosser = next(r for r in new.rows[1:] if shard_of(r) == 0)
+        crosser_old_key = crosser["key"]
+        crosser["posx"] = 39
+        # delete one, insert one
+        dead = new.rows.pop(5)
+        spawn = dict(env.rows[6], key=999, posx=2)
+        new.rows.append(spawn)
+
+        delta = diff_by_key(env, new)
+        routed = sharded.route_delta(delta)
+        assert len(routed) == 3
+        assert sum(d.changed for d in routed) >= delta.changed
+
+        # the cross-shard move became delete(old strip) + insert(new strip)
+        assert any(
+            r["key"] == crosser_old_key for r in routed[0].deleted
+        )
+        assert any(r["key"] == crosser_old_key for r in routed[2].inserted)
+        # the in-shard update stayed an update
+        home = shard_of(moved)
+        assert any(
+            old["key"] == moved["key"] for old, _ in routed[home].updated
+        )
+        # spawn and death routed to their shards
+        assert any(r["key"] == 999 for r in routed[0].inserted)
+        assert any(
+            r["key"] == dead["key"] for r in routed[shard_of(dead)].deleted
+        )
+        # base sizes reflect shard populations
+        assert [d.base_size for d in routed] == sharded.sizes()
+
+
+def test_partition_rows_helper(schema):
+    env = make_env(schema, n=12)
+    shard_of = make_sharder("key", 4)
+    parts = partition_rows(env.rows, 4, shard_of)
+    assert sum(len(p) for p in parts) == 12
+    for shard_id, part in enumerate(parts):
+        assert all(shard_of(r) == shard_id for r in part)
+    assert partition_rows(env.rows, 1, shard_of) == [env.rows]
