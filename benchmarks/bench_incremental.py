@@ -28,13 +28,17 @@ import random
 import sys
 import time
 
-from benchmarks.util import fmt_table, write_bench_json
+from benchmarks.util import (
+    evolve_battle_env,
+    fmt_table,
+    make_battle_env,
+    write_bench_json,
+)
 from repro.engine.evaluator import IndexedEvaluator
 from repro.env.schema import battle_schema
-from repro.env.table import EnvironmentTable, diff_by_key
+from repro.env.table import diff_by_key
 from repro.game.battle import BattleSimulation
 from repro.game.scripts import build_registry
-from repro.game.units import unit_row
 from repro.sgl.evalterm import EvalContext
 
 PROBES = [
@@ -42,37 +46,6 @@ PROBES = [
     ("FriendlySpread", lambda u: (u,)),
     ("NearestEnemy", lambda u: (u,)),
 ]
-
-
-def make_env(schema, n, grid, seed):
-    rng = random.Random(seed)
-    env = EnvironmentTable(schema)
-    taken = set()
-    types = ("knight", "archer", "healer")
-    for key in range(n):
-        while True:
-            x, y = rng.randrange(grid), rng.randrange(grid)
-            if (x, y) not in taken:
-                taken.add((x, y))
-                break
-        env.rows.append(
-            unit_row(key, key % 2, types[key % 3], x, y, schema=schema)
-        )
-    return env
-
-
-def evolve(env, rate, grid, rng):
-    """New generation: ``rate`` of the rows move one cell and lose 1 hp."""
-    rows = [dict(r) for r in env.rows]
-    changed = rng.sample(range(len(rows)), max(1, int(rate * len(rows))))
-    for i in changed:
-        row = rows[i]
-        row["posx"] = (row["posx"] + rng.choice((-1, 1))) % grid
-        row["posy"] = (row["posy"] + rng.choice((-1, 1))) % grid
-        row["health"] = max(row["health"] - 1, 1)
-    out = EnvironmentTable(env.schema)
-    out.rows.extend(rows)
-    return out
 
 
 def run_policy(policy, generations, registry, probe_units):
@@ -111,9 +84,11 @@ def sweep(n, grid, rates, rounds, registry, probe_units, check):
     rows = []
     for rate in rates:
         rng = random.Random(17)
-        generations = [make_env(schema, n, grid, seed=5)]
+        generations = [make_battle_env(schema, n, grid, seed=5)]
         for _ in range(rounds):
-            generations.append(evolve(generations[-1], rate, grid, rng))
+            generations.append(
+                evolve_battle_env(generations[-1], rate, grid, rng)
+            )
 
         timings = {}
         outputs = {}
@@ -166,10 +141,18 @@ def main(argv=None):
         help="tiny CI workload; asserts policy agreement on every probe",
     )
     parser.add_argument(
-        "--json", default="BENCH_incremental.json",
-        help="path of the machine-readable result (default: %(default)s)",
+        "--json", default=None,
+        help="path of the machine-readable result (default: "
+        "BENCH_incremental.json, or BENCH_incremental_smoke.json under "
+        "--smoke so smoke timings never overwrite full-run data points)",
     )
     args = parser.parse_args(argv)
+    if args.json is None:
+        args.json = (
+            "BENCH_incremental_smoke.json"
+            if args.smoke
+            else "BENCH_incremental.json"
+        )
 
     if args.smoke:
         n, grid, rounds, probe_units = 120, 60, 3, 12
@@ -211,6 +194,10 @@ def main(argv=None):
             "rounds": rounds,
             "probe_units": probe_units,
             "smoke": args.smoke,
+            # reaching this line means every policy-agreement assert above
+            # held; trajectory consumers gate on it (a missing JSON or a
+            # False here is an equivalence break, not a slowdown)
+            "equivalence_ok": True,
             "sweep": [
                 {
                     "changed_fraction": row[0],

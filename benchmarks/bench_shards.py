@@ -1,4 +1,4 @@
-"""Sharded tick pipeline: throughput across shard counts and parallelism.
+"""Sharded tick pipeline: throughput, broadcast volume, and parallelism.
 
 The engine partitions ``E`` by a configurable shard key and runs the
 decision / AoE stages shard-at-a-time, optionally on a worker pool
@@ -8,16 +8,28 @@ every configuration is bit-identical to the flat engine -- which this
 bench *asserts* on the final battle state before it reports a single
 number.
 
-Two caveats the numbers must be read with:
+Process workers are stateful replica holders: the coordinator ships an
+epoch-versioned delta per tick (``worker_broadcast="delta"``, the
+default) instead of re-broadcasting the full row set
+(``worker_broadcast="snapshot"``).  This bench reports
+**bytes-broadcast-per-tick** for both protocols on the live battle, and
+a dedicated section measures the snapshot-vs-delta pickle volume on a
+controlled-churn workload across update rates -- asserting the ≥5x
+reduction the replica protocol exists for at ≤10% changed rows per
+tick.
+
+Two caveats the timing numbers must be read with:
 
 * thread workers only run Python bytecode concurrently on free-threaded
   (no-GIL) builds; under the GIL the threads row measures pipeline
   overhead, not speedup;
-* process workers pay a per-tick broadcast of the environment rows, so
-  they need several physical cores and large battles to win.
+* process workers need several physical cores and large battles to win
+  even with delta broadcasts.
 
-The JSON artifact (``BENCH_shards.json``) records ``cpu_count`` so a
-trajectory consumer can tell a 1-core CI container from a real machine.
+The JSON artifact (``BENCH_shards.json``; ``BENCH_shards_smoke.json``
+under ``--smoke``, so smoke timings never overwrite full-run data
+points) records ``cpu_count`` so a trajectory consumer can tell a
+1-core CI container from a real machine.
 
     PYTHONPATH=src:. python benchmarks/bench_shards.py [--smoke] [--json PATH]
 
@@ -29,9 +41,19 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import time
 
-from benchmarks.util import fmt_table, write_bench_json
+from benchmarks.util import (
+    evolve_battle_env,
+    fmt_table,
+    make_battle_env,
+    write_bench_json,
+)
+from repro.engine.shardexec import delta_blob, snapshot_blob
+from repro.env.schema import battle_schema
+from repro.env.sharding import encode_replica_delta, make_sharder
+from repro.env.table import diff_by_key
 from repro.game.battle import BattleSimulation
 
 
@@ -48,15 +70,77 @@ def run_config(
         start = time.perf_counter()
         sim.run(ticks)
         elapsed = time.perf_counter() - start
+        broadcast = sum(
+            s.broadcast_bytes for s in sim.summary.tick_stats
+        )
         return {
             "config": label,
             "num_shards": battle_kwargs.get("num_shards", 1),
             "parallelism": battle_kwargs.get("parallelism", "serial"),
             "shard_by": battle_kwargs.get("shard_by", "key"),
+            "worker_broadcast": battle_kwargs.get("worker_broadcast", "delta"),
             "s_per_tick": elapsed / ticks,
             "ticks_per_s": ticks / elapsed,
+            "broadcast_bytes_per_tick": broadcast / ticks,
             "signature": sim.state_signature(),
         }
+
+
+# -- broadcast volume under controlled churn -----------------------------------
+
+
+def broadcast_volume_section(
+    n_units: int, rates: list[float], rounds: int, *, num_shards: int = 4
+) -> list[dict]:
+    """Snapshot-vs-delta wire bytes per tick at controlled update rates.
+
+    Replays the exact blobs the coordinator would ship: a full snapshot
+    broadcast vs the epoch-stamped
+    :class:`~repro.env.sharding.ReplicaDelta` (sparse attribute patches,
+    keys-only deletes, elided row order).  Asserts the ≥5x reduction at
+    every rate ≤10% -- the regime the ROADMAP's replica protocol targets.
+    """
+    schema = battle_schema()
+    grid = max(int((n_units / 0.01) ** 0.5), 16)
+    shard_conf = ("spatial", num_shards, float(grid))
+    shard_of = make_sharder("spatial", num_shards, extent=float(grid))
+    key = schema.key
+    out = []
+    for rate in rates:
+        rng = random.Random(23)
+        prev = make_battle_env(schema, n_units, grid, seed=5)
+        snapshot_bytes = delta_bytes = 0
+        for epoch in range(1, rounds + 1):
+            cur = evolve_battle_env(prev, rate, grid, rng)
+            delta = diff_by_key(prev, cur)
+            assert delta is not None  # synthetic envs are keyed
+            rd = encode_replica_delta(
+                delta,
+                old_order=[row[key] for row in prev.rows],
+                new_order=[row[key] for row in cur.rows],
+                key_attr=key,
+                base_epoch=epoch - 1,
+                epoch=epoch,
+                shard_of=shard_of,
+            )
+            snapshot_bytes += len(snapshot_blob(epoch, cur.rows, shard_conf))
+            delta_bytes += len(delta_blob(rd))
+            prev = cur
+        reduction = snapshot_bytes / delta_bytes
+        out.append(
+            {
+                "update_rate": rate,
+                "snapshot_bytes_per_tick": snapshot_bytes / rounds,
+                "delta_bytes_per_tick": delta_bytes / rounds,
+                "reduction": reduction,
+            }
+        )
+        if rate <= 0.10:
+            assert reduction >= 5.0, (
+                f"delta broadcast saved only {reduction:.2f}x at "
+                f"{rate:.0%} update rate (need >= 5x)"
+            )
+    return out
 
 
 def main(argv=None):
@@ -66,18 +150,26 @@ def main(argv=None):
         help="tiny CI workload; asserts every mode matches the baseline",
     )
     parser.add_argument(
-        "--json", default="BENCH_shards.json",
-        help="path of the machine-readable result (default: %(default)s)",
+        "--json", default=None,
+        help="path of the machine-readable result (default: "
+        "BENCH_shards.json, or BENCH_shards_smoke.json under --smoke)",
     )
     args = parser.parse_args(argv)
+    if args.json is None:
+        args.json = (
+            "BENCH_shards_smoke.json" if args.smoke else "BENCH_shards.json"
+        )
 
     if args.smoke:
         n_units, ticks, workers = 120, 3, 2
         shard_counts = (2, 4)
+        volume_rounds = 3
     else:
         n_units, ticks, workers = 5000, 3, 4
         shard_counts = (4,)
+        volume_rounds = 4
     seed = 11
+    update_rates = [0.01, 0.05, 0.10, 0.50]
 
     configs: list[tuple[str, dict]] = [("1 shard serial (baseline)", {})]
     for shards in shard_counts:
@@ -95,9 +187,16 @@ def main(argv=None):
          dict(num_shards=shard_counts[-1], shard_by="key")),
     )
     configs.append(
-        (f"{shard_counts[-1]} shards processes x{workers} spatial",
+        (f"{shard_counts[-1]} shards processes x{workers} delta",
          dict(num_shards=shard_counts[-1], shard_by="spatial",
-              parallelism="processes", max_workers=workers)),
+              parallelism="processes", max_workers=workers,
+              worker_broadcast="delta")),
+    )
+    configs.append(
+        (f"{shard_counts[-1]} shards processes x{workers} snapshot",
+         dict(num_shards=shard_counts[-1], shard_by="spatial",
+              parallelism="processes", max_workers=workers,
+              worker_broadcast="snapshot")),
     )
 
     print(
@@ -115,6 +214,7 @@ def main(argv=None):
         assert result["signature"] == baseline["signature"], (
             f"{result['config']} diverged from the flat baseline"
         )
+        result["matches_baseline"] = True
     print(f"all {len(results)} configurations bit-identical to the baseline")
 
     rows = []
@@ -128,14 +228,62 @@ def main(argv=None):
                 result["s_per_tick"],
                 result["ticks_per_s"],
                 f"{result['speedup_vs_baseline']:.2f}x",
+                f"{result['broadcast_bytes_per_tick'] / 1024:.1f}",
             ]
         )
-    print(fmt_table(["config", "s/tick", "ticks/s", "speedup"], rows))
+    print(fmt_table(
+        ["config", "s/tick", "ticks/s", "speedup", "bcast KiB/tick"], rows
+    ))
     if (os.cpu_count() or 1) < 2:
         print(
             "note: single-core machine -- parallel rows measure pipeline "
             "overhead, not speedup"
         )
+
+    delta_live = [
+        r for r in results
+        if r["parallelism"] == "processes"
+        and r["worker_broadcast"] == "delta"
+    ]
+    snap_live = [
+        r for r in results
+        if r["parallelism"] == "processes"
+        and r["worker_broadcast"] == "snapshot"
+    ]
+    live_reduction = None
+    if delta_live and snap_live:
+        live_reduction = (
+            snap_live[0]["broadcast_bytes_per_tick"]
+            / delta_live[0]["broadcast_bytes_per_tick"]
+        )
+        print(
+            f"\nlive battle broadcast volume: delta ships "
+            f"{live_reduction:.2f}x fewer bytes/tick than snapshot "
+            f"(high-churn workload; see the update-rate sweep below)"
+        )
+
+    print(
+        f"\n=== broadcast volume vs update rate: {n_units} units, "
+        f"{volume_rounds} rounds ==="
+    )
+    volume = broadcast_volume_section(n_units, update_rates, volume_rounds)
+    print(fmt_table(
+        ["changed/tick", "snapshot KiB/tick", "delta KiB/tick", "reduction"],
+        [
+            [
+                f"{v['update_rate']:.0%}",
+                v["snapshot_bytes_per_tick"] / 1024,
+                v["delta_bytes_per_tick"] / 1024,
+                f"{v['reduction']:.1f}x",
+            ]
+            for v in volume
+        ],
+    ))
+    low = [v for v in volume if v["update_rate"] <= 0.10]
+    print(
+        f"delta broadcast >= 5x smaller at all {len(low)} update rates "
+        f"<= 10% (asserted)"
+    )
 
     write_bench_json(
         args.json,
@@ -145,10 +293,13 @@ def main(argv=None):
             "ticks": ticks,
             "workers": workers,
             "smoke": args.smoke,
+            "equivalence_ok": True,
+            "live_delta_vs_snapshot_reduction": live_reduction,
             "results": [
                 {k: v for k, v in result.items() if k != "signature"}
                 for result in results
             ],
+            "broadcast_volume": volume,
         },
     )
 

@@ -12,10 +12,13 @@ from __future__ import annotations
 import json
 import os
 import platform
+import random
 import sys
 import time
 
+from repro.env.table import EnvironmentTable
 from repro.game.battle import BattleSimulation
+from repro.game.units import unit_row
 
 
 def tick_seconds(
@@ -42,6 +45,40 @@ def tick_seconds(
     start = time.perf_counter()
     sim.run(ticks)
     return (time.perf_counter() - start) / ticks
+
+
+def make_battle_env(schema, n: int, grid: int, seed: int):
+    """A deterministic battle-schema environment, distinct positions."""
+    rng = random.Random(seed)
+    env = EnvironmentTable(schema)
+    taken = set()
+    types = ("knight", "archer", "healer")
+    for key in range(n):
+        while True:
+            x, y = rng.randrange(grid), rng.randrange(grid)
+            if (x, y) not in taken:
+                taken.add((x, y))
+                break
+        env.rows.append(
+            unit_row(key, key % 2, types[key % 3], x, y, schema=schema)
+        )
+    return env
+
+
+def evolve_battle_env(env, rate: float, grid: int, rng: random.Random):
+    """New generation: exactly ``rate`` of the rows move one cell and
+    lose 1 hp, everyone else holds still -- the controlled-churn
+    workload shared by the maintenance and broadcast-volume sweeps."""
+    rows = [dict(r) for r in env.rows]
+    changed = rng.sample(range(len(rows)), max(1, int(rate * len(rows))))
+    for i in changed:
+        row = rows[i]
+        row["posx"] = (row["posx"] + rng.choice((-1, 1))) % grid
+        row["posy"] = (row["posy"] + rng.choice((-1, 1))) % grid
+        row["health"] = max(row["health"] - 1, 1)
+    out = EnvironmentTable(env.schema)
+    out.rows.extend(rows)
+    return out
 
 
 def fmt_table(headers: list[str], rows: list[list[object]]) -> str:

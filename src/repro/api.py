@@ -109,6 +109,7 @@ class GameDefinition:
         spatial_extent: float | None = None,
         parallelism: str = "serial",
         max_workers: int | None = None,
+        worker_broadcast: str = "delta",
         worker_factory: Callable | None = None,
     ) -> SimulationEngine:
         """Build a :class:`SimulationEngine` for this game definition.
@@ -128,7 +129,10 @@ class GameDefinition:
         *spatial_extent*) and the per-shard decision/effect stages run
         serially or on a thread pool; ``parallelism="processes"``
         additionally needs a picklable *worker_factory* returning a
-        :class:`~repro.engine.shardexec.WorkerGame`.
+        :class:`~repro.engine.shardexec.WorkerGame`, and keeps the
+        long-lived workers' replicas of ``E`` current per
+        *worker_broadcast* -- ``"delta"`` (default) ships epoch-versioned
+        change sets, ``"snapshot"`` re-broadcasts all rows every tick.
 
         All strategies, shard counts, and parallelism modes are
         bit-identical in trajectory when aggregate measure and effect
@@ -161,6 +165,7 @@ class GameDefinition:
                 spatial_extent=spatial_extent,
                 parallelism=parallelism,
                 max_workers=max_workers,
+                worker_broadcast=worker_broadcast,
                 worker_factory=worker_factory,
             ),
         )
@@ -182,6 +187,7 @@ def run_battle(
     shard_by: str = "key",
     parallelism: str = "serial",
     max_workers: int | None = None,
+    worker_broadcast: str = "delta",
 ) -> BattleSummary:
     """One-call battle run; returns the summary with per-tick stats.
 
@@ -212,5 +218,6 @@ def run_battle(
         shard_by=shard_by,
         parallelism=parallelism,
         max_workers=max_workers,
+        worker_broadcast=worker_broadcast,
     ) as sim:
         return sim.run(ticks)

@@ -17,7 +17,7 @@ from .evaluator import (
 from .movement import Grid, desired_direction, run_movement_phase
 from .postprocess import example_41_postprocess
 from .rng import TickRandom, splitmix64
-from .shardexec import WorkerGame
+from .shardexec import PoolStats, ReplicaWorkerPool, WorkerGame
 
 __all__ = [
     "AoeRecord",
@@ -27,6 +27,8 @@ __all__ = [
     "Grid",
     "IndexedEvaluator",
     "NaiveEvaluator",
+    "PoolStats",
+    "ReplicaWorkerPool",
     "SimulationEngine",
     "TickRandom",
     "TickStats",

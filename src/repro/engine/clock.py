@@ -53,13 +53,17 @@ Both produce identical trajectories; only the wall-clock differs.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from ..algebra.shapes import ActionShape, classify_action
 from ..env.combine import combine_all
-from ..env.sharding import ShardedEnvironment, make_sharder
+from ..env.sharding import (
+    ShardedEnvironment,
+    encode_replica_delta,
+    make_sharder,
+)
 from ..env.table import EnvironmentTable, TableDelta, diff_by_key
 from ..sgl import ast
 from ..sgl.analysis import analyze_script
@@ -103,6 +107,9 @@ class TickStats:
     maintenance_time: float = 0.0
     #: Shard count the tick ran with (1 = the flat engine).
     shards: int = 1
+    #: Pickled bytes shipped to process workers this tick (deltas and/or
+    #: snapshots); 0 outside ``parallelism="processes"``.
+    broadcast_bytes: int = 0
 
 
 @dataclass
@@ -137,7 +144,15 @@ class EngineConfig:
       under the GIL), ``"processes"`` runs shard decisions in worker
       processes built from ``worker_factory`` (see
       ``repro.engine.shardexec``);
-    * ``max_workers`` -- pool size (default: ``num_shards``).
+    * ``max_workers`` -- pool size (default: ``num_shards``);
+    * ``worker_broadcast`` -- how process workers' replicas of ``E`` are
+      kept current: ``"delta"`` (default) ships the epoch-versioned
+      per-tick change set (:class:`~repro.env.sharding.ReplicaDelta`)
+      and falls back to a full snapshot only on rebuild ticks, shard
+      layout changes, epoch mismatches, and worker respawns;
+      ``"snapshot"`` re-broadcasts the full row set every tick (the
+      pre-replica protocol, kept for measurement and as a safety
+      valve).  Both are bit-identical in trajectory.
 
     All maintenance modes, shard counts, and parallelism modes produce
     bit-identical trajectories whenever effect/measure sums are exact in
@@ -157,6 +172,7 @@ class EngineConfig:
     spatial_extent: float | None = None
     parallelism: str = "serial"  # "serial" | "threads" | "processes"
     max_workers: int | None = None
+    worker_broadcast: str = "delta"  # "delta" | "snapshot"
     #: Picklable module-level callable returning a
     #: :class:`~repro.engine.shardexec.WorkerGame`; required (and only
     #: used) by ``parallelism="processes"``.
@@ -197,6 +213,10 @@ class SimulationEngine:
             )
         if cfg.parallelism not in ("serial", "threads", "processes"):
             raise ValueError(f"unknown parallelism {cfg.parallelism!r}")
+        if cfg.worker_broadcast not in ("delta", "snapshot"):
+            raise ValueError(
+                f"unknown worker_broadcast {cfg.worker_broadcast!r}"
+            )
         if cfg.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {cfg.num_shards}")
         if cfg.parallelism == "processes" and cfg.worker_factory is None:
@@ -209,6 +229,7 @@ class SimulationEngine:
         self.rng = TickRandom(cfg.seed, key_attr=env.schema.key)
         self.tick_count = 0
         self.history: list[TickStats] = []
+        self._shard_conf = (cfg.shard_by, cfg.num_shards, cfg.spatial_extent)
         self.shard_of = make_sharder(
             cfg.shard_by,
             cfg.num_shards,
@@ -216,7 +237,7 @@ class SimulationEngine:
         )
         self._parallel = cfg.parallelism != "serial" and cfg.num_shards > 1
         self._processes = cfg.parallelism == "processes" and cfg.num_shards > 1
-        self._pool: Executor | None = None
+        self._pool = None  # ThreadPoolExecutor | ReplicaWorkerPool
 
         if self.indexed:
             self.agg_eval = IndexedEvaluator(
@@ -232,16 +253,14 @@ class SimulationEngine:
         else:
             self.agg_eval = NaiveEvaluator()
 
-        # change capture feeds the evaluator's incremental maintenance;
-        # the delta diffed at the end of tick t is consumed at t+1.
-        # Process workers rebuild from the broadcast rows each tick, so
-        # the parent engine has nothing to maintain there.
-        self._capture_deltas = (
-            self.indexed
-            and cfg.index_maintenance != "rebuild"
-            and not self._processes
-        )
+        # change capture: the delta diffed at the end of tick t is
+        # consumed at t+1, either by the parent evaluator's incremental
+        # maintenance (serial/threads) or -- encoded as an epoch-stamped
+        # ReplicaDelta -- by the process workers' replica broadcast.
         self._pending_delta: TableDelta | None = None
+        self._pending_replica_delta = None  # ReplicaDelta | None
+        self._last_broadcast_bytes = 0
+        self._refresh_capture_flags()
 
         # Cache keyed by id(script), holding the script itself: the
         # strong reference pins the id for the cache's lifetime, so a
@@ -258,14 +277,13 @@ class SimulationEngine:
 
     # -- worker pool lifecycle ----------------------------------------------------
 
-    def _ensure_pool(self) -> Executor:
+    def _ensure_pool(self):
         if self._pool is None:
             cfg = self.config
-            workers = cfg.max_workers or cfg.num_shards
             if self._processes:
                 import multiprocessing
 
-                from .shardexec import _init_worker
+                from .shardexec import ReplicaWorkerPool
 
                 methods = multiprocessing.get_all_start_methods()
                 ctx = multiprocessing.get_context(
@@ -276,23 +294,35 @@ class SimulationEngine:
                     "optimize_aoe": cfg.optimize_aoe,
                     "cascade": cfg.cascade,
                     "seed": cfg.seed,
+                    "shard_conf": self._shard_conf,
                 }
-                self._pool = ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=ctx,
-                    initializer=_init_worker,
-                    initargs=(cfg.worker_factory, payload),
+                workers = min(
+                    cfg.max_workers or cfg.num_shards, cfg.num_shards
+                )
+                self._pool = ReplicaWorkerPool(
+                    cfg.worker_factory, payload, workers, ctx
                 )
             else:
+                workers = cfg.max_workers or cfg.num_shards
                 self._pool = ThreadPoolExecutor(
                     max_workers=workers, thread_name_prefix="repro-shard"
                 )
         return self._pool
 
+    @property
+    def worker_stats(self):
+        """The process pool's broadcast/fault counters
+        (:class:`~repro.engine.shardexec.PoolStats`), or ``None`` before
+        the pool exists / outside processes mode."""
+        return getattr(self._pool, "stats", None)
+
     def close(self) -> None:
         """Shut down the worker pool (no-op for serial engines)."""
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            if hasattr(self._pool, "shutdown"):
+                self._pool.shutdown(wait=True)
+            else:
+                self._pool.close()
             self._pool = None
 
     def __enter__(self) -> "SimulationEngine":
@@ -300,6 +330,54 @@ class SimulationEngine:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- shard layout lifecycle ---------------------------------------------------
+
+    def _refresh_capture_flags(self) -> None:
+        cfg = self.config
+        # parent-side incremental maintenance: not in processes mode,
+        # where the parent evaluator never runs (workers decide).
+        self._capture_env_delta = (
+            self.indexed
+            and cfg.index_maintenance != "rebuild"
+            and not self._processes
+        )
+        # replica broadcasts: the same diff, encoded for the wire.
+        self._capture_replica_delta = (
+            self._processes and cfg.worker_broadcast == "delta"
+        )
+
+    def _refresh_sharding(self) -> None:
+        """Adopt a mid-run shard layout change (tick-start checkpoint).
+
+        ``num_shards`` / ``shard_by`` / ``spatial_extent`` may be edited
+        on ``config`` between ticks; sharding is a pure performance knob,
+        so the trajectory must not notice.  Everything keyed by the old
+        layout is invalidated: the evaluator's per-shard index instances
+        are dropped, pending deltas are discarded, and -- since replica
+        epochs no longer describe the workers' shard layout -- the next
+        process broadcast is forced to be a full snapshot (workers
+        re-shard when the snapshot's shard configuration differs).
+        """
+        cfg = self.config
+        conf = (cfg.shard_by, cfg.num_shards, cfg.spatial_extent)
+        if conf == self._shard_conf:
+            return
+        if cfg.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {cfg.num_shards}")
+        self.shard_of = make_sharder(
+            cfg.shard_by, cfg.num_shards, extent=cfg.spatial_extent
+        )
+        self._shard_conf = conf
+        self._parallel = cfg.parallelism != "serial" and cfg.num_shards > 1
+        self._processes = (
+            cfg.parallelism == "processes" and cfg.num_shards > 1
+        )
+        if self.indexed:
+            self.agg_eval.reshard(self.shard_of, cfg.num_shards)
+        self._pending_delta = None
+        self._pending_replica_delta = None
+        self._refresh_capture_flags()
 
     # -- script compilation cache -------------------------------------------------
 
@@ -392,44 +470,50 @@ class SimulationEngine:
     def _decide_processes(
         self, sharded: ShardedEnvironment
     ) -> list[tuple[list[dict[str, object]], list[AoeRecord]]]:
-        """Stage 2 in worker processes: broadcast rows, gather effects.
+        """Stage 2 in worker processes: update replicas, gather effects.
 
-        Shards are bundled into one task per worker so each tick pickles
-        the row list ``max_workers`` times, not ``num_shards`` times;
-        results are re-ordered by shard id for the deterministic ⊕-merge.
+        Each worker holds a replica of ``E`` at some acked epoch; the
+        broadcast ships last tick's captured delta to every worker whose
+        epoch matches, and the full snapshot (pickled at most once per
+        tick) to the rest -- always on rebuild ticks (no usable delta),
+        shard layout changes, stale/respawned workers, and under
+        ``worker_broadcast="snapshot"``.  Shards are bundled one group
+        per worker; results are re-ordered by shard id for the
+        deterministic ⊕-merge.
         """
-        from .shardexec import _decide_shards
+        from .shardexec import snapshot_blob
 
         pool = self._ensure_pool()
-        rows = self.env.rows
         num_shards = sharded.num_shards
-        indices: list[list[int]] = [[] for _ in range(num_shards)]
-        shard_of = self.shard_of
-        for i, row in enumerate(rows):
-            indices[shard_of(row)].append(i)
-        workers = min(self.config.max_workers or num_shards, num_shards)
-        bundles: list[list[tuple[int, list[int]]]] = [
-            [] for _ in range(workers)
+        workers = min(pool.num_workers, num_shards)
+        bundles: list[tuple[int, list[int]]] = [
+            (w, list(range(w, num_shards, workers))) for w in range(workers)
         ]
-        for shard_id, idxs in enumerate(indices):
-            bundles[shard_id % workers].append((shard_id, idxs))
-        futures = [
-            pool.submit(_decide_shards, self.tick_count, rows, bundle)
-            for bundle in bundles
-            if bundle
-        ]
-        by_shard: dict[int, tuple[list, list]] = {}
-        for future in futures:
-            for shard_id, effect_rows, aoe_records in future.result():
-                by_shard[shard_id] = (effect_rows, aoe_records)
+        epoch = self.tick_count
+        rd = self._pending_replica_delta
+        self._pending_replica_delta = None
+        if rd is not None and rd.epoch != epoch:
+            rd = None  # captured under a different pipeline state
+        rows = self.env.rows
+        shard_conf = self._shard_conf
+        by_shard = pool.run_tick(
+            tick=self.tick_count,
+            epoch=epoch,
+            bundles=bundles,
+            delta=rd,
+            snapshot=lambda: snapshot_blob(epoch, rows, shard_conf),
+        )
+        self._last_broadcast_bytes = pool.stats.last_tick_bytes
         return [by_shard[shard_id] for shard_id in range(num_shards)]
 
     # -- the tick loop --------------------------------------------------------------
 
     def tick(self) -> TickStats:
         start = time.perf_counter()
+        self._refresh_sharding()
         self.tick_count += 1
         self.rng.advance(self.tick_count)
+        self._last_broadcast_bytes = 0
         env = self.env
         schema = env.schema
 
@@ -533,17 +617,39 @@ class SimulationEngine:
 
         # change capture: diff the post-mechanics environment against the
         # tick-start snapshot (mechanics copies rows, so *env* still holds
-        # the pre-tick values).  Consumed by next tick's begin_tick.
-        if self._capture_deltas:
+        # the pre-tick values).  Consumed at t+1 by the parent evaluator's
+        # begin_tick (serial/threads) or, encoded as an epoch-stamped
+        # ReplicaDelta, by the process workers' replica broadcast.
+        if self._capture_env_delta or self._capture_replica_delta:
             t0 = time.perf_counter()
             # "auto" discards any delta above its policy's budget, so let
             # the diff bail out early instead of completing a doomed one
             cutoff = None
-            if self.config.index_maintenance == "auto":
+            if (
+                self._capture_env_delta
+                and self.config.index_maintenance == "auto"
+            ):
                 cutoff = self.agg_eval.delta_budget(len(self.env))
-            self._pending_delta = diff_by_key(
-                env, self.env, max_changed=cutoff
-            )
+            delta = diff_by_key(env, self.env, max_changed=cutoff)
+            if self._capture_env_delta:
+                self._pending_delta = delta
+            if self._capture_replica_delta:
+                # an unusable diff (duplicate keys) leaves no pending
+                # delta: the next broadcast is a full snapshot
+                key = schema.key
+                self._pending_replica_delta = (
+                    None
+                    if delta is None
+                    else encode_replica_delta(
+                        delta,
+                        old_order=[row[key] for row in env.rows],
+                        new_order=[row[key] for row in self.env.rows],
+                        key_attr=key,
+                        base_epoch=self.tick_count,
+                        epoch=self.tick_count + 1,
+                        shard_of=self.shard_of,
+                    )
+                )
             maintenance_time += time.perf_counter() - t0
 
         stats = TickStats(
@@ -558,6 +664,7 @@ class SimulationEngine:
             total_time=time.perf_counter() - start,
             maintenance_time=maintenance_time,
             shards=self.config.num_shards,
+            broadcast_bytes=self._last_broadcast_bytes,
         )
         self.history.append(stats)
         return stats

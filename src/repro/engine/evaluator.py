@@ -236,6 +236,28 @@ class IndexedEvaluator:
                 self._bump("rebuild_ticks")
         self._env = env
 
+    def reshard(
+        self,
+        shard_of: Callable[[Mapping[str, object]], int] | None,
+        num_shards: int,
+    ) -> None:
+        """Adopt a new shard layout (``num_shards <= 1`` drops to flat).
+
+        Every retained structure and sweep batch is keyed by the old
+        layout's shard ids, so all of them are discarded; they rebuild
+        lazily on their next probe.  The next ``begin_tick`` must not
+        carry a delta captured under the old layout (the engine clears
+        its pending capture when it reshards).
+        """
+        self.shard_of = shard_of if num_shards > 1 else None
+        self.num_shards = num_shards if self.shard_of is not None else 1
+        self._div_index.clear()
+        self._kd_index.clear()
+        self._row_index.clear()
+        self._batches = {}
+        self._hints = []
+        self._env = None
+
     def prepare(self, fn_names: Iterable[str]) -> None:
         """Eagerly build everything the named aggregates probe this tick.
 

@@ -1,9 +1,11 @@
-"""Worker-process side of the sharded tick pipeline.
+"""Worker-process side of the sharded tick pipeline: stateful replicas.
 
 ``parallelism="processes"`` runs the decision stage of each shard in a
 pool of long-lived worker processes.  Workers cannot share the engine's
 in-memory state, so the protocol is explicitly message-shaped -- the
-same shape a future distributed (multi-host) engine would use:
+same shape a distributed (multi-host) engine would use.  Since PR 3 the
+workers are **stateful replica holders** rather than stateless RPC
+targets:
 
 * **at pool start** each worker builds its own game state -- registry,
   compiled scripts, decision runners, and a private
@@ -11,30 +13,52 @@ same shape a future distributed (multi-host) engine would use:
   *game factory* (a module-level callable returning a
   :class:`WorkerGame`).  Heavy unpicklable objects (compiled closures,
   index structures) never cross the process boundary;
-* **per tick** the parent broadcasts the environment rows (plain dicts)
-  plus the indexes of the shard's unit rows; the worker evaluates its
-  shard's decisions against the *full* environment -- aggregate queries
-  range over all of ``E`` regardless of who asks -- and returns plain
-  effect rows and :class:`~repro.engine.effects.AoeRecord` tuples.
+* **per tick** the coordinator ships one *update blob* -- either a
+  ``SNAPSHOT`` (full row broadcast, stamping a new replica epoch) or an
+  epoch-chained ``DELTA``
+  (:class:`~repro.env.sharding.ReplicaDelta`: deleted keys, sparse
+  attribute patches, appended inserts, an order patch only when the row
+  order is unpredictable) -- plus the ids of the shards the worker
+  decides this tick.  The worker applies the update to its retained
+  replica of ``E``, feeds the same delta to its evaluator's
+  ``index_maintenance="incremental"`` paths (so per-shard index
+  instances survive across ticks instead of rebuilding from scratch),
+  runs its shards' decisions against the full replica -- aggregate
+  queries range over all of ``E`` regardless of who asks -- and returns
+  plain effect rows, :class:`~repro.engine.effects.AoeRecord` tuples,
+  and an **epoch ack** the coordinator verifies;
+* **fault paths** degrade to snapshots, never to wrong answers: a
+  worker holding the wrong epoch replies ``STALE`` and is re-sent a
+  snapshot in the same tick; a worker that died is respawned and
+  re-seeded with a snapshot; a shard-count change invalidates every
+  replica epoch, forcing a full re-broadcast.
 
 Determinism: the per-tick random function is counter-mode
 (``TickRandom`` is a pure function of seed, tick, unit key, and draw
-index) and every evaluator merge tie-breaks on unit keys, so worker
-answers are bit-identical to the serial engine's no matter how shards
-are scheduled.  Worker evaluators rebuild their indexes from the
-broadcast rows every tick (the paper's default strategy); incremental
-maintenance is a per-process memory optimisation that cannot change
-trajectories, so the parent's ``index_maintenance`` setting does not
-need to reach the workers.
+index), every evaluator merge tie-breaks on unit keys, and the replica
+reproduces the coordinator's flat row order exactly (the order patch
+above), so worker answers are bit-identical to the serial engine's no
+matter how shards are scheduled, which workers hold which replicas, or
+whether a tick arrived as a delta or a snapshot.  Worker-side
+incremental maintenance is a per-process memory/time optimisation that
+cannot change trajectories.
 """
 
 from __future__ import annotations
 
+import pickle
+import traceback
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from ..env.schema import Schema
-from ..env.table import EnvironmentTable
+from ..env.sharding import (
+    ReplicaDelta,
+    StaleReplicaError,
+    make_sharder,
+    apply_replica_delta,
+)
+from ..env.table import EnvironmentTable, TableDelta
 from ..sgl import ast
 from ..sgl.analysis import analyze_script
 from ..sgl.builtins import FunctionRegistry
@@ -43,6 +67,24 @@ from .decision import DecisionRunner
 from .effects import AoeRecord
 from .evaluator import IndexedEvaluator, NaiveEvaluator, collect_call_hints
 from .rng import TickRandom
+
+#: Message tags, coordinator -> worker.
+MSG_TICK = "tick"
+MSG_STOP = "stop"
+MSG_SET_EPOCH = "set_epoch"  # fault-injection hook (tests/chaos drills)
+
+#: Update-blob tags inside a MSG_TICK.
+UPDATE_SNAPSHOT = "snapshot"
+UPDATE_DELTA = "delta"
+
+#: Reply tags, worker -> coordinator.
+REPLY_OK = "ok"
+REPLY_STALE = "stale"
+REPLY_ERROR = "error"
+REPLY_EPOCH = "epoch"
+
+#: Epoch of a worker that holds no replica yet (fresh or respawned).
+NO_REPLICA = -1
 
 
 @dataclass
@@ -63,6 +105,25 @@ class WorkerGame:
 #: A picklable, module-level callable producing the worker's game state.
 GameFactory = Callable[[], WorkerGame]
 
+#: The shard configuration a replica's index layout depends on;
+#: shipped inside every snapshot so workers re-shard when it changes.
+ShardConf = tuple  # (shard_by, num_shards, spatial_extent)
+
+
+def snapshot_blob(
+    epoch: int, rows: list[dict[str, object]], shard_conf: ShardConf
+) -> bytes:
+    """Pickle a full-broadcast update once, for fan-out to many workers."""
+    return pickle.dumps(
+        (UPDATE_SNAPSHOT, epoch, rows, shard_conf),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def delta_blob(rd: ReplicaDelta) -> bytes:
+    """Pickle a delta update once, for fan-out to many workers."""
+    return pickle.dumps((UPDATE_DELTA, rd), protocol=pickle.HIGHEST_PROTOCOL)
+
 
 @dataclass
 class _Compiled:
@@ -71,22 +132,95 @@ class _Compiled:
 
 
 class _WorkerState:
-    """Per-process engine fragment: runners, hints, evaluator, rng."""
+    """Per-process engine fragment: replica, runners, evaluator, rng."""
 
     def __init__(self, game: WorkerGame, payload: Mapping[str, object]):
         self.game = game
         self.indexed = payload["mode"] == "indexed"
         self.optimize_aoe = bool(payload["optimize_aoe"])
+        self.cascade = bool(payload["cascade"])
         self.rng = TickRandom(int(payload["seed"]), key_attr=game.schema.key)
+        self.shard_conf: ShardConf = tuple(payload["shard_conf"])
+        self._reshard(self.shard_conf)
+        self._compiled: dict[str, _Compiled] = {}
+        # the replica of E: row order, key -> row, and the epoch held.
+        # ``by_key`` is None while the replica holds duplicate keys (a
+        # keyless multiset can only be snapshot-fed, never delta-fed).
+        self.rows: list[dict[str, object]] = []
+        self.by_key: dict[object, dict[str, object]] | None = None
+        self.order: list[object] = []
+        self.epoch: int = NO_REPLICA
+
+    # -- sharding / evaluator lifecycle ----------------------------------------
+
+    def _reshard(self, shard_conf: ShardConf) -> None:
+        """(Re)build the shard function and a fresh evaluator for it.
+
+        The evaluator's retained per-shard index instances are keyed by
+        shard id, so a shard-count change invalidates all of them; the
+        caller always pairs this with a snapshot.
+        """
+        shard_by, num_shards, extent = shard_conf
+        self.shard_conf = (shard_by, num_shards, extent)
+        self.shard_of = make_sharder(shard_by, num_shards, extent=extent)
+        key_attr = self.game.schema.key
         if self.indexed:
+            # maintenance="incremental": replica deltas patch the
+            # retained per-shard structures; snapshot ticks (delta=None)
+            # discard and lazily rebuild, exactly like the parent engine.
             self.evaluator = IndexedEvaluator(
-                game.registry,
-                cascade=bool(payload["cascade"]),
-                key_attr=game.schema.key,
+                self.game.registry,
+                cascade=self.cascade,
+                key_attr=key_attr,
+                maintenance="incremental",
+                shard_of=self.shard_of if num_shards > 1 else None,
+                num_shards=num_shards,
             )
         else:
             self.evaluator = NaiveEvaluator()
-        self._compiled: dict[str, _Compiled] = {}
+
+    # -- replica maintenance ----------------------------------------------------
+
+    def apply_snapshot(
+        self, epoch: int, rows: list[dict[str, object]], shard_conf: ShardConf
+    ) -> None:
+        if tuple(shard_conf) != self.shard_conf:
+            self._reshard(tuple(shard_conf))
+        elif self.indexed:
+            # same shard layout, but the retained structures describe the
+            # replaced replica rows: drop them (they rebuild on probe)
+            self.evaluator.reshard(
+                self.shard_of if self.shard_conf[1] > 1 else None,
+                self.shard_conf[1],
+            )
+        key_attr = self.game.schema.key
+        self.rows = rows
+        by_key: dict[object, dict[str, object]] = {}
+        for row in rows:
+            by_key[row[key_attr]] = row
+        self.by_key = by_key if len(by_key) == len(rows) else None
+        self.order = (
+            [row[key_attr] for row in rows] if self.by_key is not None else []
+        )
+        self.epoch = epoch
+
+    def apply_delta(self, rd: ReplicaDelta) -> TableDelta:
+        if self.by_key is None:
+            raise StaleReplicaError("replica is not keyed; need a snapshot")
+        key_attr = self.game.schema.key
+        self.order, table_delta = apply_replica_delta(
+            rd,
+            self.by_key,
+            self.order,
+            key_attr=key_attr,
+            replica_epoch=self.epoch,
+        )
+        by_key = self.by_key
+        self.rows = [by_key[k] for k in self.order]
+        self.epoch = rd.epoch
+        return table_delta
+
+    # -- script compilation ------------------------------------------------------
 
     def compiled_for(self, selector_value: object) -> _Compiled:
         entry = self._compiled.get(selector_value)
@@ -111,79 +245,356 @@ class _WorkerState:
             self._compiled[selector_value] = entry
         return entry
 
+    # -- the decision stage ------------------------------------------------------
 
-_STATE: _WorkerState | None = None
+    def decide(
+        self,
+        tick: int,
+        shard_ids: list[int],
+        delta: TableDelta | None,
+    ) -> list[tuple[int, list[dict[str, object]], list[AoeRecord]]]:
+        """Run the decision stage for the given shards over the replica.
 
+        *delta* is this tick's replica change set (``None`` on snapshot
+        ticks); it drives the evaluator's incremental maintenance so
+        per-shard index instances survive across ticks.  Results come
+        back per shard (tagged with the shard id) so the parent's
+        ⊕-merge keeps its ascending-shard-id order.
+        """
+        game = self.game
+        rows = self.rows
+        env = EnvironmentTable(game.schema)
+        env.rows.extend(rows)
+        self.rng.advance(tick)
 
-def _init_worker(factory: GameFactory, payload: dict) -> None:
-    global _STATE
-    _STATE = _WorkerState(factory(), payload)
-
-
-def _decide_shards(
-    tick: int,
-    rows: list[dict[str, object]],
-    shard_index_lists: list[tuple[int, list[int]]],
-) -> list[tuple[int, list[dict[str, object]], list[AoeRecord]]]:
-    """Run the decision stage for several shards against one broadcast.
-
-    *shard_index_lists* pairs each shard id with the row indexes of its
-    units.  Bundling a worker's shards into one task means the parent
-    pickles the row list once per worker per tick, not once per shard.
-    Results come back per shard (tagged with the shard id) so the
-    parent's ⊕-merge keeps its ascending-shard-id order.
-    """
-    state = _STATE
-    if state is None:  # pragma: no cover - initializer always ran
-        raise RuntimeError("worker not initialised")
-    game = state.game
-    env = EnvironmentTable(game.schema)
-    env.rows.extend(rows)
-    state.rng.advance(tick)
-
-    selector = game.selector
-    # one script grouping per shard: decisions stay shard-at-a-time
-    shard_groups: list[tuple[int, dict[object, list]]] = []
-    for shard_id, indices in shard_index_lists:
-        units_by_script: dict[object, list] = {}
-        for i in indices:
-            row = rows[i]
-            units_by_script.setdefault(row[selector], []).append(row)
-        shard_groups.append((shard_id, units_by_script))
-
-    by_key = None
-    if state.indexed:
-        hint_pairs = []
-        for _, units_by_script in shard_groups:
-            for selector_value, units in units_by_script.items():
-                for hint in state.compiled_for(selector_value).hints:
-                    hint_pairs.append((hint, units))
-        state.evaluator.begin_tick(env, hint_pairs)
-        by_key = env.by_key()
-
-    rng = state.rng
-    registry = game.registry
-    evaluator = state.evaluator
-
-    def ctx_factory(unit: Mapping[str, object]) -> EvalContext:
-        return EvalContext(
-            env=env,
-            registry=registry,
-            agg_eval=evaluator,
-            rng=rng,
-            bindings={},
-            unit=unit,
-        )
-
-    out: list[tuple[int, list[dict[str, object]], list[AoeRecord]]] = []
-    for shard_id, units_by_script in shard_groups:
-        effect_rows: list[dict[str, object]] = []
-        aoe_records: list[AoeRecord] = []
-        for selector_value, units in units_by_script.items():
-            runner = state.compiled_for(selector_value).runner
-            for unit in units:
-                runner.run_unit(
-                    unit, ctx_factory, by_key, effect_rows, aoe_records
+        # the replica's flat row order induces each shard's row order,
+        # exactly as the coordinator's ShardedEnvironment partition does
+        wanted = set(shard_ids)
+        shard_of = self.shard_of
+        selector = game.selector
+        shard_groups: dict[int, dict[object, list]] = {
+            shard_id: {} for shard_id in shard_ids
+        }
+        for row in rows:
+            shard_id = shard_of(row)
+            if shard_id in wanted:
+                shard_groups[shard_id].setdefault(row[selector], []).append(
+                    row
                 )
-        out.append((shard_id, effect_rows, aoe_records))
-    return out
+
+        by_key = None
+        if self.indexed:
+            hint_pairs = []
+            for units_by_script in shard_groups.values():
+                for selector_value, units in units_by_script.items():
+                    for hint in self.compiled_for(selector_value).hints:
+                        hint_pairs.append((hint, units))
+            self.evaluator.begin_tick(env, hint_pairs, delta=delta)
+            by_key = self.by_key if self.by_key is not None else env.by_key()
+
+        rng = self.rng
+        registry = game.registry
+        evaluator = self.evaluator
+
+        def ctx_factory(unit: Mapping[str, object]) -> EvalContext:
+            return EvalContext(
+                env=env,
+                registry=registry,
+                agg_eval=evaluator,
+                rng=rng,
+                bindings={},
+                unit=unit,
+            )
+
+        out: list[tuple[int, list[dict[str, object]], list[AoeRecord]]] = []
+        for shard_id in shard_ids:
+            effect_rows: list[dict[str, object]] = []
+            aoe_records: list[AoeRecord] = []
+            for selector_value, units in shard_groups[shard_id].items():
+                runner = self.compiled_for(selector_value).runner
+                for unit in units:
+                    runner.run_unit(
+                        unit, ctx_factory, by_key, effect_rows, aoe_records
+                    )
+            out.append((shard_id, effect_rows, aoe_records))
+        return out
+
+
+def _replica_worker_main(conn, factory: GameFactory, payload: dict) -> None:
+    """Worker process loop: apply updates, decide shards, ack epochs."""
+    try:
+        state = _WorkerState(factory(), payload)
+    except BaseException:  # pragma: no cover - init failures surface on recv
+        conn.send((REPLY_ERROR, traceback.format_exc()))
+        conn.close()
+        return
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:  # coordinator vanished
+            break
+        tag = msg[0]
+        if tag == MSG_STOP:
+            break
+        if tag == MSG_SET_EPOCH:  # fault injection: pretend to drift
+            state.epoch = msg[1]
+            conn.send((REPLY_EPOCH, state.epoch))
+            continue
+        _, blob, tick, shard_ids = msg
+        try:
+            update = pickle.loads(blob)
+            if update[0] == UPDATE_SNAPSHOT:
+                _, epoch, rows, shard_conf = update
+                state.apply_snapshot(epoch, rows, shard_conf)
+                delta = None
+            else:
+                delta = state.apply_delta(update[1])
+            results = state.decide(tick, shard_ids, delta)
+            conn.send((REPLY_OK, state.epoch, results))
+        except StaleReplicaError:
+            # replica cannot absorb this update; ask for a snapshot.
+            # Drop the replica: a failed delta may have half-applied.
+            state.epoch = NO_REPLICA
+            state.by_key = None
+            conn.send((REPLY_STALE, state.epoch))
+        except BaseException:
+            conn.send((REPLY_ERROR, traceback.format_exc()))
+    conn.close()
+
+
+@dataclass
+class _WorkerHandle:
+    process: object
+    conn: object
+    #: Coordinator's belief of the worker's replica epoch.
+    epoch: int = NO_REPLICA
+
+
+@dataclass
+class PoolStats:
+    """Broadcast/fault counters a :class:`ReplicaWorkerPool` accumulates."""
+
+    delta_broadcasts: int = 0
+    snapshot_broadcasts: int = 0
+    stale_snapshots: int = 0
+    respawns: int = 0
+    bytes_broadcast: int = 0
+    ticks: int = 0
+    last_tick_bytes: int = 0
+
+
+class ReplicaWorkerPool:
+    """A pipe-addressed pool of stateful replica-holding workers.
+
+    Unlike an executor pool, messages are addressed to *specific*
+    workers -- replica state lives in the process, so the coordinator
+    must know (and verify, via epoch acks) what each worker holds.
+    """
+
+    def __init__(
+        self,
+        factory: GameFactory,
+        payload: dict,
+        num_workers: int,
+        mp_context,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._factory = factory
+        self._payload = payload
+        self._ctx = mp_context
+        self.stats = PoolStats()
+        self.workers: list[_WorkerHandle] = [
+            self._spawn() for _ in range(num_workers)
+        ]
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def _spawn(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_replica_worker_main,
+            args=(child_conn, self._factory, self._payload),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process=process, conn=parent_conn)
+
+    def _respawn(self, index: int) -> _WorkerHandle:
+        old = self.workers[index]
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if old.process.is_alive():  # pragma: no cover - defensive
+            old.process.terminate()
+        old.process.join(timeout=5)
+        self.workers[index] = self._spawn()
+        self.stats.respawns += 1
+        return self.workers[index]
+
+    # -- the per-tick broadcast -------------------------------------------------
+
+    def run_tick(
+        self,
+        tick: int,
+        epoch: int,
+        bundles: list[tuple[int, list[int]]],
+        delta: ReplicaDelta | None,
+        snapshot: Callable[[], bytes],
+    ) -> dict[int, tuple[list[dict[str, object]], list[AoeRecord]]]:
+        """One tick: update every bundled worker's replica, gather results.
+
+        *bundles* pairs worker indexes with the shard ids they decide.
+        *delta* (when not ``None``) is shipped to every worker whose
+        acked epoch matches ``delta.base_epoch``; all others -- fresh,
+        respawned, drifted, or after a shard-layout change -- get the
+        *snapshot* blob (built lazily, pickled at most once per tick).
+        Epoch acks are verified against *epoch*; a ``STALE`` reply or a
+        dead worker falls back to the snapshot within the same tick.
+
+        Returns ``{shard_id: (effect_rows, aoe_records)}``.
+        """
+        stats = self.stats
+        blobs: dict[str, bytes] = {}
+
+        def delta_bytes() -> bytes:
+            if UPDATE_DELTA not in blobs:
+                blobs[UPDATE_DELTA] = delta_blob(delta)
+            return blobs[UPDATE_DELTA]
+
+        def snapshot_bytes() -> bytes:
+            if UPDATE_SNAPSHOT not in blobs:
+                blobs[UPDATE_SNAPSHOT] = snapshot()
+            return blobs[UPDATE_SNAPSHOT]
+
+        tick_bytes = 0
+        sent: list[tuple[int, list[int]]] = []
+        for worker_index, shard_ids in bundles:
+            if not shard_ids:
+                continue
+            worker = self.workers[worker_index]
+            use_delta = (
+                delta is not None and worker.epoch == delta.base_epoch
+            )
+            blob = delta_bytes() if use_delta else snapshot_bytes()
+            try:
+                worker.conn.send((MSG_TICK, blob, tick, shard_ids))
+            except (BrokenPipeError, OSError):
+                worker = self._respawn(worker_index)
+                use_delta = False  # a fresh worker holds no replica
+                blob = snapshot_bytes()
+                try:
+                    worker.conn.send((MSG_TICK, blob, tick, shard_ids))
+                except (BrokenPipeError, OSError) as exc:
+                    raise RuntimeError(
+                        "shard worker died again immediately after its "
+                        "respawn; the game factory likely fails "
+                        "persistently"
+                    ) from exc
+            # counters record *delivered* updates: a send that died does
+            # not inflate delta_broadcasts for a blob nobody received
+            if use_delta:
+                stats.delta_broadcasts += 1
+            else:
+                stats.snapshot_broadcasts += 1
+            tick_bytes += len(blob)
+            sent.append((worker_index, shard_ids))
+
+        def snapshot_roundtrip(
+            worker_index: int, shard_ids: list[int], *, respawned: bool
+        ):
+            """Snapshot-feed one worker and await its reply.
+
+            A pipe failure respawns the worker and retries once
+            (*respawned* bounds the recursion); a worker that dies again
+            immediately after its respawn gives up with the protocol's
+            informative error, not a bare pipe exception.
+            """
+            nonlocal tick_bytes
+            worker = self.workers[worker_index]
+            blob = snapshot_bytes()
+            stats.snapshot_broadcasts += 1
+            tick_bytes += len(blob)
+            try:
+                worker.conn.send((MSG_TICK, blob, tick, shard_ids))
+                return worker.conn.recv()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                if respawned:
+                    raise RuntimeError(
+                        "shard worker died again immediately after its "
+                        "respawn; the game factory likely fails "
+                        "persistently"
+                    ) from exc
+                self._respawn(worker_index)
+                return snapshot_roundtrip(
+                    worker_index, shard_ids, respawned=True
+                )
+
+        out: dict[int, tuple[list, list]] = {}
+        for worker_index, shard_ids in sent:
+            try:
+                reply = self.workers[worker_index].conn.recv()
+            except (EOFError, OSError):
+                # the worker died after its update was sent: respawn and
+                # rejoin it from a snapshot within the same tick
+                self._respawn(worker_index)
+                reply = snapshot_roundtrip(
+                    worker_index, shard_ids, respawned=True
+                )
+            if reply[0] == REPLY_STALE:
+                stats.stale_snapshots += 1
+                reply = snapshot_roundtrip(
+                    worker_index, shard_ids, respawned=False
+                )
+            if reply[0] == REPLY_ERROR:
+                raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+            if reply[0] != REPLY_OK:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unexpected worker reply {reply[0]!r}")
+            _, acked, results = reply
+            if acked != epoch:
+                raise RuntimeError(
+                    f"worker {worker_index} acked epoch {acked}, "
+                    f"coordinator expected {epoch}"
+                )
+            self.workers[worker_index].epoch = acked
+            for shard_id, effect_rows, aoe_records in results:
+                out[shard_id] = (effect_rows, aoe_records)
+
+        stats.bytes_broadcast += tick_bytes
+        stats.ticks += 1
+        stats.last_tick_bytes = tick_bytes
+        return out
+
+    def debug_set_worker_epoch(self, worker_index: int, epoch: int) -> int:
+        """Fault injection: force a worker's *actual* replica epoch.
+
+        The coordinator's belief (``workers[i].epoch``) is left alone,
+        so the next delta broadcast reaches a genuinely drifted worker
+        -- the STALE/snapshot fallback path a chaos drill wants to see.
+        """
+        worker = self.workers[worker_index]
+        worker.conn.send((MSG_SET_EPOCH, epoch))
+        reply = worker.conn.recv()
+        if reply[0] != REPLY_EPOCH:  # pragma: no cover - protocol bug
+            raise RuntimeError(f"unexpected reply {reply[0]!r}")
+        return reply[1]
+
+    def close(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.conn.send((MSG_STOP,))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass

@@ -19,7 +19,16 @@ of that bargain:
   :class:`~repro.env.table.TableDelta` (the engine's per-tick change
   capture) into per-shard deltas, turning an update that crosses a shard
   boundary -- a unit walking out of its spatial strip -- into a delete
-  in the old shard plus an insert in the new one.
+  in the old shard plus an insert in the new one;
+* :class:`ReplicaDelta` is the epoch-versioned wire form of that change
+  capture: the compact, picklable change set a coordinator ships to
+  replica-holding workers instead of re-broadcasting the full row set.
+  :func:`encode_replica_delta` compresses a ``TableDelta`` (deletes
+  become keys, updates become sparse attribute patches, the row order is
+  shipped only when it cannot be predicted) and classifies cross-shard
+  moves; :func:`apply_replica_delta` replays it against a replica and
+  raises :class:`StaleReplicaError` on an epoch mismatch, the signal to
+  fall back to a snapshot.
 
 The engine (``repro.engine.clock``) partitions at tick start and runs
 the decision / effect stages shard-at-a-time (serially or in parallel
@@ -29,7 +38,8 @@ index maintenance stays shard-local.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from .table import EnvironmentTable, TableDelta
 
@@ -40,6 +50,15 @@ ShardFn = Callable[[Row], int]
 
 class ShardingError(ValueError):
     """Raised for invalid shard configurations."""
+
+
+class StaleReplicaError(ShardingError):
+    """A delta's base epoch does not match the replica's epoch.
+
+    Raised by :func:`apply_replica_delta` when a replica holder is asked
+    to apply a change set on top of an environment version it does not
+    hold -- the holder must request (or be sent) a full snapshot.
+    """
 
 
 def make_sharder(
@@ -219,3 +238,196 @@ def partition_rows(
     for row in rows:
         out[shard_of(row)].append(row)
     return out
+
+
+# ---------------------------------------------------------------------------
+# Replica deltas: the epoch-versioned wire protocol for replica holders
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplicaDelta:
+    """Compact, epoch-stamped change set for a replica of ``E``.
+
+    A replica holder at ``base_epoch`` applies this to reach ``epoch``.
+    The encoding is built for the wire, not for in-memory maintenance:
+
+    * ``deleted_keys`` carries only keys -- the replica owns the old row
+      objects, which is exactly what its retained index structures hold;
+    * ``updated`` carries ``(key, patch)`` pairs where *patch* maps only
+      the attributes whose values changed (a moving unit ships its new
+      position and nothing else); an attribute the new row dropped
+      entirely is shipped as the :data:`REMOVED_ATTR` sentinel, since
+      rows are plain dicts and custom mechanics may remove attributes;
+    * ``order`` is ``None`` whenever the new row order is predictable
+      from the old one (drop deletes in place, apply updates in place,
+      append inserts); only order-scrambling ticks -- e.g. the battle's
+      resurrection rule moving revived units to the end of ``E`` -- ship
+      the full key order;
+    * ``cross_shard_moves`` counts updates whose shard assignment moved,
+      the delete-then-insert re-routing classification of
+      :meth:`ShardedEnvironment.route_delta`, so a coordinator can watch
+      shard-boundary churn without re-deriving it.
+    """
+
+    base_epoch: int
+    epoch: int
+    #: Row count of the post-change table (sanity check + delta fraction).
+    new_size: int
+    inserted: list[dict[str, object]] = field(default_factory=list)
+    deleted_keys: list[object] = field(default_factory=list)
+    #: ``(key, {attr: new value})`` sparse patches for changed rows.
+    updated: list[tuple[object, dict[str, object]]] = field(
+        default_factory=list
+    )
+    #: Full new key order, or ``None`` when predictable (see above).
+    order: list[object] | None = None
+    cross_shard_moves: int = 0
+
+    @property
+    def changed(self) -> int:
+        return len(self.inserted) + len(self.deleted_keys) + len(self.updated)
+
+
+def _predicted_order(
+    old_order: Sequence[object],
+    deleted_keys: Iterable[object],
+    inserted_keys: Iterable[object],
+) -> list[object]:
+    """The new key order assuming deletes drop in place, updates hold
+    their position, and inserts append -- the common quiet-tick shape."""
+    dropped = set(deleted_keys)
+    out = [k for k in old_order if k not in dropped]
+    out.extend(inserted_keys)
+    return out
+
+
+_MISSING = object()
+
+
+class _RemovedAttr:
+    """Pickle-stable patch sentinel: the attribute was deleted.
+
+    Rows are plain dicts, so a custom game's mechanics may drop an
+    attribute between ticks; a patch built only from the new row's items
+    could not express that.  Matched by ``isinstance`` (never identity)
+    because pickling creates a fresh instance in the replica holder.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<removed attr>"
+
+
+REMOVED_ATTR = _RemovedAttr()
+
+
+def encode_replica_delta(
+    delta: TableDelta,
+    old_order: Sequence[object],
+    new_order: Sequence[object],
+    *,
+    key_attr: str,
+    base_epoch: int,
+    epoch: int,
+    shard_of: ShardFn | None = None,
+) -> ReplicaDelta:
+    """Compress a keyed :class:`~repro.env.table.TableDelta` for the wire.
+
+    *old_order* / *new_order* are the key sequences of the pre- and
+    post-change tables; the order patch is elided when prediction
+    reproduces *new_order* exactly.  *shard_of* (when sharding is
+    active) only feeds the cross-shard move classification -- replica
+    holders re-route rows through their own shard function.
+    """
+    updated: list[tuple[object, dict[str, object]]] = []
+    moves = 0
+    for old, new in delta.updated:
+        patch = {a: v for a, v in new.items() if old.get(a, _MISSING) != v}
+        for attr in old:
+            if attr not in new:
+                patch[attr] = REMOVED_ATTR
+        updated.append((old[key_attr], patch))
+        if shard_of is not None and shard_of(old) != shard_of(new):
+            moves += 1
+    deleted_keys = [row[key_attr] for row in delta.deleted]
+    inserted = list(delta.inserted)
+    new_order = list(new_order)
+    predicted = _predicted_order(
+        old_order, deleted_keys, (row[key_attr] for row in inserted)
+    )
+    return ReplicaDelta(
+        base_epoch=base_epoch,
+        epoch=epoch,
+        new_size=delta.base_size,
+        inserted=inserted,
+        deleted_keys=deleted_keys,
+        updated=updated,
+        order=None if predicted == new_order else new_order,
+        cross_shard_moves=moves,
+    )
+
+
+def apply_replica_delta(
+    rd: ReplicaDelta,
+    replica: dict[object, dict[str, object]],
+    order: list[object],
+    *,
+    key_attr: str,
+    replica_epoch: int,
+) -> tuple[list[object], TableDelta]:
+    """Replay *rd* against a keyed replica, returning the new row order
+    and an evaluator-ready :class:`~repro.env.table.TableDelta`.
+
+    The returned delta's old rows (``deleted`` and the first element of
+    each ``updated`` pair) are the replica's *own* row objects -- the
+    identical objects any retained index structures hold -- so it feeds
+    :meth:`~repro.engine.evaluator.IndexedEvaluator.begin_tick`'s
+    incremental maintenance directly.  Replaced rows are fresh dicts;
+    the old objects are never mutated in place.
+
+    Raises :class:`StaleReplicaError` when the replica is not at
+    ``rd.base_epoch`` or its contents drifted (unknown keys, size
+    mismatch); the caller falls back to a snapshot.
+    """
+    if replica_epoch != rd.base_epoch:
+        raise StaleReplicaError(
+            f"replica at epoch {replica_epoch}, delta applies to "
+            f"{rd.base_epoch}"
+        )
+    out = TableDelta(base_size=rd.new_size)
+    try:
+        for key in rd.deleted_keys:
+            out.deleted.append(replica.pop(key))
+        for key, patch in rd.updated:
+            old = replica[key]
+            new = dict(old)
+            for attr, value in patch.items():
+                if isinstance(value, _RemovedAttr):
+                    new.pop(attr, None)
+                else:
+                    new[attr] = value
+            replica[key] = new
+            out.updated.append((old, new))
+    except KeyError as exc:
+        raise StaleReplicaError(f"replica is missing row {exc}") from exc
+    inserted_keys = []
+    for row in rd.inserted:
+        key = row[key_attr]
+        if key in replica:
+            raise StaleReplicaError(f"insert of {key!r} already in replica")
+        replica[key] = row
+        inserted_keys.append(key)
+        out.inserted.append(row)
+    if len(replica) != rd.new_size:
+        raise StaleReplicaError(
+            f"replica holds {len(replica)} rows after delta, "
+            f"coordinator expected {rd.new_size}"
+        )
+    new_order = (
+        list(rd.order)
+        if rd.order is not None
+        else _predicted_order(order, rd.deleted_keys, inserted_keys)
+    )
+    return new_order, out

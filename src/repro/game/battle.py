@@ -94,6 +94,13 @@ class BattleSimulation:
         *parallelism* (``"serial"`` | ``"threads"`` | ``"processes"``).
         Trajectories are bit-identical to the 1-shard serial engine for
         every combination (all battle measures are integer-valued).
+    worker_broadcast:
+        How process workers' replicas of ``E`` stay current:
+        ``"delta"`` (default) ships the per-tick change set with a
+        replica epoch, falling back to full snapshots only when a
+        worker cannot apply it; ``"snapshot"`` re-broadcasts all rows
+        every tick.  Trajectories are bit-identical either way; only
+        the bytes shipped per tick differ.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class BattleSimulation:
         shard_by: str = "key",
         parallelism: str = "serial",
         max_workers: int | None = None,
+        worker_broadcast: str = "delta",
     ):
         self.schema = battle_schema()
         make = uniform_battle if formation == "uniform" else two_army_battle
@@ -156,6 +164,7 @@ class BattleSimulation:
                 spatial_extent=self.grid_size,
                 parallelism=parallelism,
                 max_workers=max_workers,
+                worker_broadcast=worker_broadcast,
                 worker_factory=battle_worker_game,
             ),
         )

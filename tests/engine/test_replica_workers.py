@@ -1,0 +1,282 @@
+"""Replica-holding process workers: the epoch-versioned delta protocol.
+
+Two layers of coverage:
+
+* the **wire format** (`ReplicaDelta` encode/apply) is exercised
+  in-process: sparse attribute patches, keys-only deletes, elided row
+  order, cross-shard move classification, and the stale-epoch guard;
+* the **fault paths** drive real worker processes through genuine
+  failures -- a drifted replica epoch, a killed-and-respawned worker, a
+  mid-run shard-count change -- and assert the battle trajectory stays
+  bit-identical to the flat serial engine, because every recovery
+  degrades to a snapshot broadcast, never to wrong answers.
+"""
+
+import pytest
+
+from repro.env.sharding import (
+    StaleReplicaError,
+    apply_replica_delta,
+    encode_replica_delta,
+    make_sharder,
+)
+from repro.env.table import EnvironmentTable, diff_by_key
+from repro.game.battle import BattleSimulation
+from tests.conftest import make_env
+
+
+def battle_signature(ticks=4, **kwargs):
+    with BattleSimulation(48, density=0.02, **kwargs) as sim:
+        sim.run(ticks)
+        return sim.state_signature()
+
+
+def encode(old, new, shard_of=None, base_epoch=0, epoch=1):
+    delta = diff_by_key(old, new)
+    assert delta is not None
+    return encode_replica_delta(
+        delta,
+        old_order=[r["key"] for r in old.rows],
+        new_order=[r["key"] for r in new.rows],
+        key_attr="key",
+        base_epoch=base_epoch,
+        epoch=epoch,
+        shard_of=shard_of,
+    )
+
+
+def evolved(env, mutate):
+    out = EnvironmentTable(env.schema)
+    out.rows.extend(dict(r) for r in env.rows)
+    mutate(out.rows)
+    return out
+
+
+class TestReplicaDeltaWireFormat:
+    def test_sparse_updates_and_keys_only_deletes(self, schema):
+        env = make_env(schema, n=10, grid=30, seed=1)
+
+        def mutate(rows):
+            rows[3]["posx"] += 1
+            rows[3]["health"] -= 5
+            del rows[7]
+
+        new = evolved(env, mutate)
+        rd = encode(env, new)
+        assert rd.deleted_keys == [env.rows[7]["key"]]
+        assert not rd.inserted
+        [(key, patch)] = rd.updated
+        assert key == env.rows[3]["key"]
+        # only the changed attributes travel, not the whole row
+        assert set(patch) == {"posx", "health"}
+        # drop-in-place deletes and in-place updates are predictable:
+        # no order patch on the wire
+        assert rd.order is None
+
+    def test_order_patch_ships_only_when_unpredictable(self, schema):
+        env = make_env(schema, n=8, grid=30, seed=2)
+
+        def mutate(rows):
+            # the battle's resurrection shape: a changed row moves to
+            # the end of E, which order prediction cannot reproduce
+            row = rows.pop(2)
+            row["health"] = 1
+            rows.append(row)
+
+        new = evolved(env, mutate)
+        rd = encode(env, new)
+        assert rd.order == [r["key"] for r in new.rows]
+
+    def test_apply_reproduces_rows_and_reuses_replica_objects(self, schema):
+        env = make_env(schema, n=12, grid=30, seed=3)
+
+        def mutate(rows):
+            rows[0]["posy"] += 2
+            del rows[5]
+            inserted = dict(rows[1])
+            inserted["key"] = 999
+            inserted["posx"] = 0
+            rows.append(inserted)
+
+        new = evolved(env, mutate)
+        rd = encode(env, new)
+        replica = {r["key"]: r for r in env.rows}
+        old_objects = dict(replica)
+        order, table_delta = apply_replica_delta(
+            rd,
+            replica,
+            [r["key"] for r in env.rows],
+            key_attr="key",
+            replica_epoch=0,
+        )
+        rebuilt = [replica[k] for k in order]
+        assert rebuilt == new.rows
+        # the delta's old rows are the replica's own objects -- exactly
+        # what retained index structures hold, so incremental
+        # maintenance can delete by identity
+        assert table_delta.deleted[0] is old_objects[env.rows[5]["key"]]
+        old_row, new_row = table_delta.updated[0]
+        assert old_row is old_objects[env.rows[0]["key"]]
+        assert new_row["posy"] == old_row["posy"] + 2
+
+    def test_removed_attribute_round_trips(self, schema):
+        """Rows are plain dicts: a custom game's mechanics may drop an
+        attribute, and the patch must express the removal (a patch
+        built from the new row's items alone could not)."""
+        import pickle
+
+        env = make_env(schema, n=4, grid=30, seed=9)
+        extended = EnvironmentTable(env.schema)
+        extended.rows.extend(dict(r, aura_src=7) for r in env.rows)
+
+        def mutate(rows):
+            del rows[1]["aura_src"]
+            rows[1]["posx"] += 1
+
+        new = evolved(extended, mutate)
+        rd = pickle.loads(pickle.dumps(encode(extended, new)))
+        replica = {r["key"]: dict(r) for r in extended.rows}
+        order, _ = apply_replica_delta(
+            rd,
+            replica,
+            [r["key"] for r in extended.rows],
+            key_attr="key",
+            replica_epoch=0,
+        )
+        assert [replica[k] for k in order] == new.rows
+        assert "aura_src" not in replica[extended.rows[1]["key"]]
+
+    def test_stale_epoch_is_refused(self, schema):
+        env = make_env(schema, n=6, grid=30, seed=4)
+        new = evolved(env, lambda rows: rows[0].update(posx=1))
+        rd = encode(env, new, base_epoch=7, epoch=8)
+        replica = {r["key"]: r for r in env.rows}
+        with pytest.raises(StaleReplicaError):
+            apply_replica_delta(
+                rd,
+                replica,
+                [r["key"] for r in env.rows],
+                key_attr="key",
+                replica_epoch=6,
+            )
+
+    def test_drifted_replica_contents_are_refused(self, schema):
+        env = make_env(schema, n=6, grid=30, seed=5)
+        new = evolved(env, lambda rows: rows.__delitem__(2))
+        rd = encode(env, new)
+        replica = {r["key"]: r for r in env.rows}
+        del replica[env.rows[2]["key"]]  # the row to delete is missing
+        with pytest.raises(StaleReplicaError):
+            apply_replica_delta(
+                rd,
+                replica,
+                [r["key"] for r in env.rows],
+                key_attr="key",
+                replica_epoch=0,
+            )
+
+    def test_cross_shard_moves_are_classified(self, schema):
+        env = make_env(schema, n=10, grid=40, seed=6)
+        shard_of = make_sharder("spatial", 4, extent=40)
+
+        def mutate(rows):
+            # teleport a unit across every strip boundary
+            rows[0]["posx"] = (rows[0]["posx"] + 20) % 40
+            # and nudge another inside its strip
+            rows[1]["health"] -= 1
+
+        new = evolved(env, mutate)
+        rd = encode(env, new, shard_of=shard_of)
+        moved = shard_of(env.rows[0]) != shard_of(new.rows[0])
+        assert rd.cross_shard_moves == (1 if moved else 0)
+
+
+class TestReplicaWorkerFaults:
+    """Real worker processes driven through the recovery paths."""
+
+    def test_delta_broadcasts_match_serial_and_save_bytes(self):
+        baseline = battle_signature(seed=29)
+        with BattleSimulation(
+            48, density=0.02, seed=29, num_shards=2,
+            parallelism="processes", max_workers=2,
+        ) as sim:
+            sim.run(4)
+            delta_sig = sim.state_signature()
+            stats = sim.engine.worker_stats
+            assert stats.delta_broadcasts > 0
+            delta_bytes = stats.bytes_broadcast
+        assert delta_sig == baseline
+        with BattleSimulation(
+            48, density=0.02, seed=29, num_shards=2,
+            parallelism="processes", max_workers=2,
+            worker_broadcast="snapshot",
+        ) as sim:
+            sim.run(4)
+            snap_sig = sim.state_signature()
+            stats = sim.engine.worker_stats
+            assert stats.delta_broadcasts == 0
+            snapshot_bytes = stats.bytes_broadcast
+        assert snap_sig == baseline
+        assert delta_bytes < snapshot_bytes
+
+    def test_stale_worker_rejoins_via_snapshot(self):
+        baseline = battle_signature(ticks=6, seed=31)
+        with BattleSimulation(
+            48, density=0.02, seed=31, num_shards=2,
+            parallelism="processes", max_workers=2,
+        ) as sim:
+            sim.run(2)
+            pool = sim.engine._pool
+            # drift worker 0's *actual* replica epoch; the coordinator's
+            # belief is untouched, so the next broadcast is a delta the
+            # worker must refuse
+            pool.debug_set_worker_epoch(0, 777)
+            sim.run(4)
+            assert pool.stats.stale_snapshots >= 1
+            assert sim.state_signature() == baseline
+
+    def test_killed_worker_respawns_via_snapshot(self):
+        baseline = battle_signature(ticks=6, seed=37)
+        with BattleSimulation(
+            48, density=0.02, seed=37, num_shards=2,
+            parallelism="processes", max_workers=2,
+        ) as sim:
+            sim.run(2)
+            pool = sim.engine._pool
+            pool.workers[0].process.kill()
+            pool.workers[0].process.join()
+            sim.run(4)
+            assert pool.stats.respawns >= 1
+            assert sim.state_signature() == baseline
+
+    def test_mid_run_shard_change_forces_full_rebroadcast(self):
+        baseline = battle_signature(ticks=6, seed=41)
+        with BattleSimulation(
+            48, density=0.02, seed=41, num_shards=2,
+            parallelism="processes", max_workers=2,
+        ) as sim:
+            sim.run(3)
+            pool = sim.engine._pool
+            snapshots_before = pool.stats.snapshot_broadcasts
+            sim.engine.config.num_shards = 3
+            sim.run(3)
+            # every worker's replica epoch was invalidated: the first
+            # post-change tick broadcast snapshots, not deltas
+            assert pool.stats.snapshot_broadcasts > snapshots_before
+            assert sim.state_signature() == baseline
+
+    def test_mid_run_shard_change_serial_engine(self):
+        baseline = battle_signature(ticks=6, seed=43)
+        with BattleSimulation(
+            48, density=0.02, seed=43, num_shards=2,
+            index_maintenance="incremental",
+        ) as sim:
+            sim.run(3)
+            sim.engine.config.num_shards = 4
+            sim.engine.config.shard_by = "spatial"
+            sim.run(3)
+            assert sim.state_signature() == baseline
+
+    def test_bad_worker_broadcast_rejected(self):
+        with pytest.raises(ValueError, match="worker_broadcast"):
+            BattleSimulation(10, worker_broadcast="telepathy")
