@@ -48,6 +48,7 @@ TIMING_SERIES = (
     ("s_per_tick", ("config", "index_maintenance")),
     ("rebuild_s", ("changed_fraction",)),
     ("incremental_s", ("changed_fraction",)),
+    ("s_per_query", ("config",)),
 )
 
 

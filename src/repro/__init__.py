@@ -31,6 +31,14 @@ sum exactly in floating point (integer-valued measures, as in the
 battle simulation); ``benchmarks/bench_incremental.py`` and
 ``benchmarks/bench_shards.py`` map out where each wins.
 
+Heavy read traffic is served off-process: ``spectators=True`` opens the
+:mod:`repro.serve` read-replica feed, and
+:class:`~repro.serve.spectator.SpectatorReplica` processes (see
+``BattleSimulation.spawn_spectator``) answer read-only SGL/aggregate/
+k-NN queries over loopback sockets, pinned to a consistent tick epoch
+and bit-identical to querying the engine directly
+(``benchmarks/bench_spectators.py`` asserts it live).
+
 Quickstart::
 
     from repro import run_battle
@@ -50,6 +58,13 @@ from .env.schema import Attribute, AttributeType, Schema, battle_schema
 from .env.sharding import ShardedEnvironment, make_sharder
 from .env.table import EnvironmentTable
 from .game.battle import BattleSimulation, BattleSummary
+from .serve import (
+    AuthoritativeQueryService,
+    ReplicaPublisher,
+    SpectatorClient,
+    SpectatorReplica,
+    unit_ref,
+)
 from .sgl.builtins import FunctionRegistry
 from .sgl.parser import parse_script
 
@@ -58,6 +73,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Attribute",
     "AttributeType",
+    "AuthoritativeQueryService",
     "BattleSimulation",
     "BattleSummary",
     "EngineConfig",
@@ -65,14 +81,18 @@ __all__ = [
     "ExplainResult",
     "FunctionRegistry",
     "GameDefinition",
+    "ReplicaPublisher",
     "Schema",
     "ShardedEnvironment",
     "SimulationEngine",
+    "SpectatorClient",
+    "SpectatorReplica",
     "battle_schema",
     "compile_script",
     "explain_script",
     "make_sharder",
     "parse_script",
     "run_battle",
+    "unit_ref",
     "__version__",
 ]

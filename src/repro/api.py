@@ -111,6 +111,8 @@ class GameDefinition:
         max_workers: int | None = None,
         worker_broadcast: str = "delta",
         worker_factory: Callable | None = None,
+        spectators: bool = False,
+        spectator_broadcast: str = "delta",
     ) -> SimulationEngine:
         """Build a :class:`SimulationEngine` for this game definition.
 
@@ -133,6 +135,16 @@ class GameDefinition:
         long-lived workers' replicas of ``E`` current per
         *worker_broadcast* -- ``"delta"`` (default) ships epoch-versioned
         change sets, ``"snapshot"`` re-broadcasts all rows every tick.
+
+        *spectators* opens the engine's read-replica feed
+        (``engine.spectator_address``): each tick's post-state streams
+        to subscribed :class:`~repro.serve.spectator.SpectatorReplica`
+        processes -- per *spectator_broadcast*, as epoch-versioned
+        deltas with snapshot catch-up (``"delta"``) or full snapshots
+        (``"snapshot"``).  Spawn replicas against the same
+        *worker_factory* used for process workers; they answer
+        read-only SGL/aggregate/k-NN queries pinned to a consistent
+        epoch, bit-identical to querying this engine directly.
 
         All strategies, shard counts, and parallelism modes are
         bit-identical in trajectory when aggregate measure and effect
@@ -167,6 +179,8 @@ class GameDefinition:
                 max_workers=max_workers,
                 worker_broadcast=worker_broadcast,
                 worker_factory=worker_factory,
+                spectators=spectators,
+                spectator_broadcast=spectator_broadcast,
             ),
         )
 

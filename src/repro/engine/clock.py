@@ -30,7 +30,11 @@ environment (the partition of ``E`` by a configurable shard key --
    keeps trajectories bit-identical run to run *and* across shard
    counts and parallelism modes (see below);
 5. **mechanics** -- the game's post-processing applies the combined
-   effects (Example 4.1), moves units, removes the dead.
+   effects (Example 4.1), moves units, removes the dead;
+6. **publish** (optional) -- with spectators enabled, the post-tick
+   state is streamed to subscribed read replicas (``repro.serve``):
+   the captured epoch-versioned delta to subscribers whose replica
+   chains, full snapshots to late joiners and fault recoveries.
 
 **Determinism.**  Sharded and parallel runs are bit-identical to the
 single-shard serial engine because nothing in a tick depends on
@@ -110,6 +114,9 @@ class TickStats:
     #: Pickled bytes shipped to process workers this tick (deltas and/or
     #: snapshots); 0 outside ``parallelism="processes"``.
     broadcast_bytes: int = 0
+    #: Bytes streamed to spectator subscribers by the publish stage;
+    #: 0 when no publisher is attached (or nobody is subscribed).
+    publish_bytes: int = 0
 
 
 @dataclass
@@ -154,6 +161,22 @@ class EngineConfig:
       pre-replica protocol, kept for measurement and as a safety
       valve).  Both are bit-identical in trajectory.
 
+    Spectator serving knobs (the ``repro.serve`` read-replica layer):
+
+    * ``spectators`` -- when true, the engine opens a
+      :class:`~repro.serve.publisher.ReplicaPublisher` on
+      ``spectator_host``/``spectator_port`` (port 0 = ephemeral) and
+      runs a **publish stage** after mechanics each tick, streaming the
+      post-tick state (epoch ``tick_count + 1``) to every subscribed
+      :class:`~repro.serve.spectator.SpectatorReplica`;
+    * ``spectator_broadcast`` -- ``"delta"`` (default) ships the same
+      epoch-versioned change set the worker protocol uses, with
+      snapshot catch-up for late joiners and fault paths;
+      ``"snapshot"`` re-broadcasts the full row set every tick.
+      Spectators are read-only, so neither mode can affect the
+      trajectory; the publish stage never blocks on (and is never
+      wedged by) a slow or dead subscriber.
+
     All maintenance modes, shard counts, and parallelism modes produce
     bit-identical trajectories whenever effect/measure sums are exact in
     floating point -- true for integer-valued measures like the battle
@@ -177,6 +200,10 @@ class EngineConfig:
     #: :class:`~repro.engine.shardexec.WorkerGame`; required (and only
     #: used) by ``parallelism="processes"``.
     worker_factory: Callable | None = None
+    spectators: bool = False
+    spectator_host: str = "127.0.0.1"
+    spectator_port: int = 0
+    spectator_broadcast: str = "delta"  # "delta" | "snapshot"
 
 
 class SimulationEngine:
@@ -217,6 +244,10 @@ class SimulationEngine:
             raise ValueError(
                 f"unknown worker_broadcast {cfg.worker_broadcast!r}"
             )
+        if cfg.spectator_broadcast not in ("delta", "snapshot"):
+            raise ValueError(
+                f"unknown spectator_broadcast {cfg.spectator_broadcast!r}"
+            )
         if cfg.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {cfg.num_shards}")
         if cfg.parallelism == "processes" and cfg.worker_factory is None:
@@ -256,11 +287,17 @@ class SimulationEngine:
         # change capture: the delta diffed at the end of tick t is
         # consumed at t+1, either by the parent evaluator's incremental
         # maintenance (serial/threads) or -- encoded as an epoch-stamped
-        # ReplicaDelta -- by the process workers' replica broadcast.
+        # ReplicaDelta -- by the process workers' replica broadcast and
+        # the spectator publish stage.
         self._pending_delta: TableDelta | None = None
         self._pending_replica_delta = None  # ReplicaDelta | None
         self._last_broadcast_bytes = 0
+        self.publisher = None  # ReplicaPublisher | None
         self._refresh_capture_flags()
+        if cfg.spectators:
+            self.serve_spectators(
+                host=cfg.spectator_host, port=cfg.spectator_port
+            )
 
         # Cache keyed by id(script), holding the script itself: the
         # strong reference pins the id for the cache's lifetime, so a
@@ -317,13 +354,71 @@ class SimulationEngine:
         return getattr(self._pool, "stats", None)
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op for serial engines)."""
+        """Shut down the worker pool and the spectator publisher."""
         if self._pool is not None:
             if hasattr(self._pool, "shutdown"):
                 self._pool.shutdown(wait=True)
             else:
                 self._pool.close()
             self._pool = None
+        if self.publisher is not None:
+            self.publisher.close()
+            self.publisher = None
+            self._refresh_capture_flags()
+
+    # -- spectator serving --------------------------------------------------------
+
+    def serve_spectators(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        broadcast: str | None = None,
+    ):
+        """Open the spectator feed; returns the attached publisher.
+
+        Called automatically when ``config.spectators`` is set; may also
+        be called on a running engine to start serving mid-battle.  With
+        ``broadcast="delta"`` (the config's ``spectator_broadcast`` by
+        default) the engine begins capturing per-tick replica deltas
+        even in serial mode -- the same diff the incremental-maintenance
+        and worker-broadcast paths use.
+        """
+        from ..serve.publisher import ReplicaPublisher
+
+        if self.publisher is not None:
+            raise RuntimeError("engine is already serving spectators")
+        self.publisher = ReplicaPublisher(
+            host=host,
+            port=port,
+            broadcast=broadcast or self.config.spectator_broadcast,
+        )
+        self._refresh_capture_flags()
+        return self.publisher
+
+    @property
+    def spectator_address(self) -> tuple[str, int] | None:
+        """The publisher's ``(host, port)``, or ``None`` when not serving."""
+        return None if self.publisher is None else self.publisher.address
+
+    def publish_spectators(self) -> int:
+        """Run the publish stage between ticks; returns bytes shipped.
+
+        Lets a late joiner snapshot-catch-up to the *current* epoch
+        without waiting for (or advancing) the next tick; subscribers
+        already at the current epoch are not re-fed.
+        """
+        if self.publisher is None:
+            raise RuntimeError(
+                "no spectator publisher attached; call serve_spectators() "
+                "or set EngineConfig.spectators"
+            )
+        return self.publisher.publish(
+            epoch=self.tick_count + 1,
+            rows=self.env.rows,
+            shard_conf=self._shard_conf,
+            delta=None,
+        )
 
     def __enter__(self) -> "SimulationEngine":
         return self
@@ -342,9 +437,13 @@ class SimulationEngine:
             and cfg.index_maintenance != "rebuild"
             and not self._processes
         )
-        # replica broadcasts: the same diff, encoded for the wire.
+        # replica broadcasts: the same diff, encoded for the wire --
+        # consumed by the process-worker broadcast and/or streamed to
+        # delta-mode spectator subscribers by the publish stage.
         self._capture_replica_delta = (
             self._processes and cfg.worker_broadcast == "delta"
+        ) or (
+            self.publisher is not None and self.publisher.broadcast == "delta"
         )
 
     def _refresh_sharding(self) -> None:
@@ -652,6 +751,20 @@ class SimulationEngine:
                 )
             maintenance_time += time.perf_counter() - t0
 
+        # stage 6: publish -- stream the post-tick state (epoch
+        # tick_count + 1) to spectator subscribers: the captured delta
+        # to everyone whose epoch chains, snapshots to the rest.  Fire
+        # and forget: spectators are read-only and can never stall or
+        # corrupt the tick loop.
+        publish_bytes = 0
+        if self.publisher is not None:
+            publish_bytes = self.publisher.publish(
+                epoch=self.tick_count + 1,
+                rows=self.env.rows,
+                shard_conf=self._shard_conf,
+                delta=self._pending_replica_delta,
+            )
+
         stats = TickStats(
             tick=self.tick_count,
             units=len(env),
@@ -665,6 +778,7 @@ class SimulationEngine:
             maintenance_time=maintenance_time,
             shards=self.config.num_shards,
             broadcast_bytes=self._last_broadcast_bytes,
+            publish_bytes=publish_bytes,
         )
         self.history.append(stats)
         return stats

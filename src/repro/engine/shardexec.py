@@ -53,12 +53,18 @@ from typing import Callable, Mapping
 
 from ..env.schema import Schema
 from ..env.sharding import (
+    NO_REPLICA,
+    UPDATE_DELTA,
+    UPDATE_SNAPSHOT,
     ReplicaDelta,
+    ReplicaTable,
     StaleReplicaError,
+    delta_blob,
     make_sharder,
-    apply_replica_delta,
+    snapshot_blob,
 )
 from ..env.table import EnvironmentTable, TableDelta
+from ..serve.transport import PipeTransport, Transport
 from ..sgl import ast
 from ..sgl.analysis import analyze_script
 from ..sgl.builtins import FunctionRegistry
@@ -73,18 +79,11 @@ MSG_TICK = "tick"
 MSG_STOP = "stop"
 MSG_SET_EPOCH = "set_epoch"  # fault-injection hook (tests/chaos drills)
 
-#: Update-blob tags inside a MSG_TICK.
-UPDATE_SNAPSHOT = "snapshot"
-UPDATE_DELTA = "delta"
-
 #: Reply tags, worker -> coordinator.
 REPLY_OK = "ok"
 REPLY_STALE = "stale"
 REPLY_ERROR = "error"
 REPLY_EPOCH = "epoch"
-
-#: Epoch of a worker that holds no replica yet (fresh or respawned).
-NO_REPLICA = -1
 
 
 @dataclass
@@ -110,21 +109,6 @@ GameFactory = Callable[[], WorkerGame]
 ShardConf = tuple  # (shard_by, num_shards, spatial_extent)
 
 
-def snapshot_blob(
-    epoch: int, rows: list[dict[str, object]], shard_conf: ShardConf
-) -> bytes:
-    """Pickle a full-broadcast update once, for fan-out to many workers."""
-    return pickle.dumps(
-        (UPDATE_SNAPSHOT, epoch, rows, shard_conf),
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
-
-
-def delta_blob(rd: ReplicaDelta) -> bytes:
-    """Pickle a delta update once, for fan-out to many workers."""
-    return pickle.dumps((UPDATE_DELTA, rd), protocol=pickle.HIGHEST_PROTOCOL)
-
-
 @dataclass
 class _Compiled:
     runner: DecisionRunner
@@ -143,13 +127,9 @@ class _WorkerState:
         self.shard_conf: ShardConf = tuple(payload["shard_conf"])
         self._reshard(self.shard_conf)
         self._compiled: dict[str, _Compiled] = {}
-        # the replica of E: row order, key -> row, and the epoch held.
-        # ``by_key`` is None while the replica holds duplicate keys (a
-        # keyless multiset can only be snapshot-fed, never delta-fed).
-        self.rows: list[dict[str, object]] = []
-        self.by_key: dict[object, dict[str, object]] | None = None
-        self.order: list[object] = []
-        self.epoch: int = NO_REPLICA
+        # the replica of E (row order, key -> row, epoch held) -- the
+        # same holder-side protocol object the spectator replicas use
+        self.replica = ReplicaTable(game.schema.key)
 
     # -- sharding / evaluator lifecycle ----------------------------------------
 
@@ -193,32 +173,10 @@ class _WorkerState:
                 self.shard_of if self.shard_conf[1] > 1 else None,
                 self.shard_conf[1],
             )
-        key_attr = self.game.schema.key
-        self.rows = rows
-        by_key: dict[object, dict[str, object]] = {}
-        for row in rows:
-            by_key[row[key_attr]] = row
-        self.by_key = by_key if len(by_key) == len(rows) else None
-        self.order = (
-            [row[key_attr] for row in rows] if self.by_key is not None else []
-        )
-        self.epoch = epoch
+        self.replica.apply_snapshot(epoch, rows)
 
     def apply_delta(self, rd: ReplicaDelta) -> TableDelta:
-        if self.by_key is None:
-            raise StaleReplicaError("replica is not keyed; need a snapshot")
-        key_attr = self.game.schema.key
-        self.order, table_delta = apply_replica_delta(
-            rd,
-            self.by_key,
-            self.order,
-            key_attr=key_attr,
-            replica_epoch=self.epoch,
-        )
-        by_key = self.by_key
-        self.rows = [by_key[k] for k in self.order]
-        self.epoch = rd.epoch
-        return table_delta
+        return self.replica.apply_delta(rd)
 
     # -- script compilation ------------------------------------------------------
 
@@ -262,7 +220,7 @@ class _WorkerState:
         ⊕-merge keeps its ascending-shard-id order.
         """
         game = self.game
-        rows = self.rows
+        rows = self.replica.rows
         env = EnvironmentTable(game.schema)
         env.rows.extend(rows)
         self.rng.advance(tick)
@@ -290,7 +248,11 @@ class _WorkerState:
                     for hint in self.compiled_for(selector_value).hints:
                         hint_pairs.append((hint, units))
             self.evaluator.begin_tick(env, hint_pairs, delta=delta)
-            by_key = self.by_key if self.by_key is not None else env.by_key()
+            by_key = (
+                self.replica.by_key
+                if self.replica.by_key is not None
+                else env.by_key()
+            )
 
         rng = self.rng
         registry = game.registry
@@ -322,23 +284,24 @@ class _WorkerState:
 
 def _replica_worker_main(conn, factory: GameFactory, payload: dict) -> None:
     """Worker process loop: apply updates, decide shards, ack epochs."""
+    transport: Transport = PipeTransport(conn)
     try:
         state = _WorkerState(factory(), payload)
     except BaseException:  # pragma: no cover - init failures surface on recv
-        conn.send((REPLY_ERROR, traceback.format_exc()))
-        conn.close()
+        transport.send((REPLY_ERROR, traceback.format_exc()))
+        transport.close()
         return
     while True:
         try:
-            msg = conn.recv()
+            msg = transport.recv()
         except EOFError:  # coordinator vanished
             break
         tag = msg[0]
         if tag == MSG_STOP:
             break
         if tag == MSG_SET_EPOCH:  # fault injection: pretend to drift
-            state.epoch = msg[1]
-            conn.send((REPLY_EPOCH, state.epoch))
+            state.replica.epoch = msg[1]
+            transport.send((REPLY_EPOCH, state.replica.epoch))
             continue
         _, blob, tick, shard_ids = msg
         try:
@@ -350,22 +313,21 @@ def _replica_worker_main(conn, factory: GameFactory, payload: dict) -> None:
             else:
                 delta = state.apply_delta(update[1])
             results = state.decide(tick, shard_ids, delta)
-            conn.send((REPLY_OK, state.epoch, results))
+            transport.send((REPLY_OK, state.replica.epoch, results))
         except StaleReplicaError:
             # replica cannot absorb this update; ask for a snapshot.
             # Drop the replica: a failed delta may have half-applied.
-            state.epoch = NO_REPLICA
-            state.by_key = None
-            conn.send((REPLY_STALE, state.epoch))
+            state.replica.invalidate()
+            transport.send((REPLY_STALE, state.replica.epoch))
         except BaseException:
-            conn.send((REPLY_ERROR, traceback.format_exc()))
-    conn.close()
+            transport.send((REPLY_ERROR, traceback.format_exc()))
+    transport.close()
 
 
 @dataclass
 class _WorkerHandle:
     process: object
-    conn: object
+    transport: Transport
     #: Coordinator's belief of the worker's replica epoch.
     epoch: int = NO_REPLICA
 
@@ -389,6 +351,9 @@ class ReplicaWorkerPool:
     Unlike an executor pool, messages are addressed to *specific*
     workers -- replica state lives in the process, so the coordinator
     must know (and verify, via epoch acks) what each worker holds.
+    Workers are addressed through the :class:`~repro.serve.transport`
+    layer (here :class:`PipeTransport`; the spectator publisher speaks
+    the same update blobs over :class:`SocketTransport`).
     """
 
     def __init__(
@@ -421,12 +386,14 @@ class ReplicaWorkerPool:
         )
         process.start()
         child_conn.close()
-        return _WorkerHandle(process=process, conn=parent_conn)
+        return _WorkerHandle(
+            process=process, transport=PipeTransport(parent_conn)
+        )
 
     def _respawn(self, index: int) -> _WorkerHandle:
         old = self.workers[index]
         try:
-            old.conn.close()
+            old.transport.close()
         except OSError:  # pragma: no cover - already closed
             pass
         if old.process.is_alive():  # pragma: no cover - defensive
@@ -482,13 +449,13 @@ class ReplicaWorkerPool:
             )
             blob = delta_bytes() if use_delta else snapshot_bytes()
             try:
-                worker.conn.send((MSG_TICK, blob, tick, shard_ids))
+                worker.transport.send((MSG_TICK, blob, tick, shard_ids))
             except (BrokenPipeError, OSError):
                 worker = self._respawn(worker_index)
                 use_delta = False  # a fresh worker holds no replica
                 blob = snapshot_bytes()
                 try:
-                    worker.conn.send((MSG_TICK, blob, tick, shard_ids))
+                    worker.transport.send((MSG_TICK, blob, tick, shard_ids))
                 except (BrokenPipeError, OSError) as exc:
                     raise RuntimeError(
                         "shard worker died again immediately after its "
@@ -520,8 +487,8 @@ class ReplicaWorkerPool:
             stats.snapshot_broadcasts += 1
             tick_bytes += len(blob)
             try:
-                worker.conn.send((MSG_TICK, blob, tick, shard_ids))
-                return worker.conn.recv()
+                worker.transport.send((MSG_TICK, blob, tick, shard_ids))
+                return worker.transport.recv()
             except (BrokenPipeError, EOFError, OSError) as exc:
                 if respawned:
                     raise RuntimeError(
@@ -537,7 +504,7 @@ class ReplicaWorkerPool:
         out: dict[int, tuple[list, list]] = {}
         for worker_index, shard_ids in sent:
             try:
-                reply = self.workers[worker_index].conn.recv()
+                reply = self.workers[worker_index].transport.recv()
             except (EOFError, OSError):
                 # the worker died after its update was sent: respawn and
                 # rejoin it from a snapshot within the same tick
@@ -577,8 +544,8 @@ class ReplicaWorkerPool:
         -- the STALE/snapshot fallback path a chaos drill wants to see.
         """
         worker = self.workers[worker_index]
-        worker.conn.send((MSG_SET_EPOCH, epoch))
-        reply = worker.conn.recv()
+        worker.transport.send((MSG_SET_EPOCH, epoch))
+        reply = worker.transport.recv()
         if reply[0] != REPLY_EPOCH:  # pragma: no cover - protocol bug
             raise RuntimeError(f"unexpected reply {reply[0]!r}")
         return reply[1]
@@ -586,7 +553,7 @@ class ReplicaWorkerPool:
     def close(self) -> None:
         for worker in self.workers:
             try:
-                worker.conn.send((MSG_STOP,))
+                worker.transport.send((MSG_STOP,))
             except (BrokenPipeError, OSError):
                 pass
         for worker in self.workers:
@@ -595,6 +562,6 @@ class ReplicaWorkerPool:
                 worker.process.terminate()
                 worker.process.join(timeout=5)
             try:
-                worker.conn.close()
+                worker.transport.close()
             except OSError:  # pragma: no cover - already closed
                 pass

@@ -28,7 +28,13 @@ of that bargain:
   shipped only when it cannot be predicted) and classifies cross-shard
   moves; :func:`apply_replica_delta` replays it against a replica and
   raises :class:`StaleReplicaError` on an epoch mismatch, the signal to
-  fall back to a snapshot.
+  fall back to a snapshot;
+* :class:`ReplicaTable` packages the receiving side of that protocol --
+  the keyed replica of ``E`` every holder keeps (row order, key map,
+  held epoch) plus the snapshot/delta application and invalidation
+  paths.  The shard worker pool (``repro.engine.shardexec``) and the
+  spectator read replicas (``repro.serve``) both maintain their copies
+  of ``E`` through it.
 
 The engine (``repro.engine.clock``) partitions at tick start and runs
 the decision / effect stages shard-at-a-time (serially or in parallel
@@ -38,6 +44,7 @@ index maintenance stays shard-local.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -431,3 +438,102 @@ def apply_replica_delta(
         else _predicted_order(order, rd.deleted_keys, inserted_keys)
     )
     return new_order, out
+
+
+#: Epoch of a holder that has no replica yet (fresh, respawned, or
+#: invalidated after a failed delta).
+NO_REPLICA = -1
+
+#: Update-blob tags: the two message kinds every replica feed ships.
+UPDATE_SNAPSHOT = "snapshot"
+UPDATE_DELTA = "delta"
+
+
+def snapshot_blob(
+    epoch: int, rows: list[dict[str, object]], shard_conf: tuple
+) -> bytes:
+    """Pickle a full-broadcast update once, for fan-out to many holders.
+
+    *shard_conf* is the coordinator's ``(shard_by, num_shards, extent)``
+    tuple; holders whose index layout depends on it re-shard when it
+    changes (shard workers), others may ignore it (spectators, whose
+    evaluator answers are shard-layout independent).
+    """
+    return pickle.dumps(
+        (UPDATE_SNAPSHOT, epoch, rows, shard_conf),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def delta_blob(rd: ReplicaDelta) -> bytes:
+    """Pickle a delta update once, for fan-out to many holders."""
+    return pickle.dumps((UPDATE_DELTA, rd), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class ReplicaTable:
+    """The receiving side of the replica protocol: a keyed copy of ``E``.
+
+    Every replica holder -- a shard worker deciding its shards, a
+    spectator process answering read-only queries -- keeps the same
+    three pieces of state: the flat row list (reproducing the
+    coordinator's row order exactly), the ``key -> row`` map the delta
+    paths patch, and the epoch the replica currently holds.  ``by_key``
+    is ``None`` while the replica holds duplicate keys: a keyless
+    multiset has no row identity to patch, so it can only be
+    snapshot-fed, never delta-fed.
+
+    The update paths mirror the coordinator's fault model: a delta that
+    cannot apply raises :class:`StaleReplicaError` and the caller must
+    :meth:`invalidate` (a failed delta may have half-applied) and wait
+    for a snapshot.
+    """
+
+    __slots__ = ("key_attr", "rows", "by_key", "order", "epoch")
+
+    def __init__(self, key_attr: str):
+        self.key_attr = key_attr
+        self.rows: list[dict[str, object]] = []
+        self.by_key: dict[object, dict[str, object]] | None = None
+        self.order: list[object] = []
+        self.epoch: int = NO_REPLICA
+
+    @property
+    def held(self) -> bool:
+        """True when the replica holds some epoch (stale or not)."""
+        return self.epoch != NO_REPLICA
+
+    def invalidate(self) -> None:
+        """Drop to the no-replica state (next update must be a snapshot)."""
+        self.by_key = None
+        self.epoch = NO_REPLICA
+
+    def apply_snapshot(self, epoch: int, rows: list[dict[str, object]]) -> None:
+        """Replace the replica wholesale (takes ownership of *rows*)."""
+        key_attr = self.key_attr
+        self.rows = rows
+        by_key: dict[object, dict[str, object]] = {}
+        for row in rows:
+            by_key[row[key_attr]] = row
+        self.by_key = by_key if len(by_key) == len(rows) else None
+        self.order = (
+            [row[key_attr] for row in rows] if self.by_key is not None else []
+        )
+        self.epoch = epoch
+
+    def apply_delta(self, rd: ReplicaDelta) -> TableDelta:
+        """Advance the replica to ``rd.epoch``; returns the evaluator-ready
+        :class:`~repro.env.table.TableDelta` whose old rows are the
+        replica's own objects (what retained index structures hold)."""
+        if self.by_key is None:
+            raise StaleReplicaError("replica is not keyed; need a snapshot")
+        self.order, table_delta = apply_replica_delta(
+            rd,
+            self.by_key,
+            self.order,
+            key_attr=self.key_attr,
+            replica_epoch=self.epoch,
+        )
+        by_key = self.by_key
+        self.rows = [by_key[k] for k in self.order]
+        self.epoch = rd.epoch
+        return table_delta

@@ -101,6 +101,14 @@ class BattleSimulation:
         worker cannot apply it; ``"snapshot"`` re-broadcasts all rows
         every tick.  Trajectories are bit-identical either way; only
         the bytes shipped per tick differ.
+    spectators / spectator_broadcast:
+        ``spectators=True`` opens a loopback
+        :class:`~repro.serve.publisher.ReplicaPublisher`
+        (``spectator_address`` names the endpoint) and streams every
+        post-tick state to subscribed read replicas;
+        :meth:`spawn_spectator` starts one wired to this battle's game
+        factory.  Spectators are read-only: they cannot affect the
+        trajectory.
     """
 
     def __init__(
@@ -123,6 +131,8 @@ class BattleSimulation:
         parallelism: str = "serial",
         max_workers: int | None = None,
         worker_broadcast: str = "delta",
+        spectators: bool = False,
+        spectator_broadcast: str = "delta",
     ):
         self.schema = battle_schema()
         make = uniform_battle if formation == "uniform" else two_army_battle
@@ -166,6 +176,8 @@ class BattleSimulation:
                 max_workers=max_workers,
                 worker_broadcast=worker_broadcast,
                 worker_factory=battle_worker_game,
+                spectators=spectators,
+                spectator_broadcast=spectator_broadcast,
             ),
         )
 
@@ -174,6 +186,23 @@ class BattleSimulation:
     @property
     def environment(self) -> EnvironmentTable:
         return self.engine.env
+
+    @property
+    def spectator_address(self) -> tuple[str, int] | None:
+        """The spectator feed's ``(host, port)`` (``None`` if not serving)."""
+        return self.engine.spectator_address
+
+    def spawn_spectator(self, **kwargs):
+        """Start a :class:`~repro.serve.spectator.SpectatorReplica`
+        subscribed to this battle's feed (requires ``spectators=True``)."""
+        from ..serve.spectator import SpectatorReplica
+
+        address = self.spectator_address
+        if address is None:
+            raise RuntimeError(
+                "battle is not serving spectators; pass spectators=True"
+            )
+        return SpectatorReplica.spawn(address, battle_worker_game, **kwargs)
 
     def close(self) -> None:
         """Shut down the engine's worker pool (no-op for serial runs)."""

@@ -1,0 +1,273 @@
+"""Coordinator-side subscription feed for spectator read replicas.
+
+:class:`ReplicaPublisher` is the serving half of the engine's publish
+stage: it listens on a loopback/TCP socket, accepts any number of
+subscribers, and streams the *same* epoch-versioned update blobs the
+shard worker pool ships over pipes --
+:func:`~repro.env.sharding.snapshot_blob` and
+:func:`~repro.env.sharding.delta_blob`, pickled at most once per tick
+no matter how many subscribers are attached.
+
+The protocol reuses PR 3's fault model wholesale, adapted from
+addressed request/reply (workers must ack every tick -- the coordinator
+needs their results) to fire-and-forget publication (spectators are
+read-only, so the tick loop must never block on them):
+
+* a **late joiner** is accepted with no replica epoch and receives the
+  full snapshot at the next publish;
+* a **delta subscriber** receives the per-tick
+  :class:`~repro.env.sharding.ReplicaDelta` while its believed epoch
+  chains; any discontinuity (a tick with no usable delta, a publisher
+  restart) degrades that subscriber to a snapshot;
+* a **stale subscriber** -- one whose replica could not apply a delta
+  -- reports ``STALE`` upstream; the publisher marks it replica-less
+  and re-sends the snapshot at the next publish (the async analogue of
+  the worker pool's same-tick STALE/snapshot round trip);
+* a **dead or byzantine peer** (dropped socket mid-delta, stalled
+  reader, version-byte mismatch, oversized frame) is dropped; the
+  frame guard in :class:`~repro.serve.transport.SocketTransport` plus
+  per-peer timeouts mean no peer can wedge the publish stage.
+
+Subscriber messages are polled non-blocking at each publish, so the
+whole publisher is single-threaded and runs inline in the engine's
+tick loop.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+from ..env.sharding import (
+    NO_REPLICA,
+    ReplicaDelta,
+    delta_blob,
+    snapshot_blob,
+)
+from .transport import DEFAULT_MAX_FRAME, FrameError, SocketTransport
+
+#: Subscriber -> publisher message tags.
+SUB_STALE = "sub_stale"
+
+
+@dataclass
+class PublisherStats:
+    """Publish/fault counters a :class:`ReplicaPublisher` accumulates."""
+
+    ticks: int = 0
+    delta_sends: int = 0
+    snapshot_sends: int = 0
+    #: STALE reports that downgraded a subscriber to the snapshot path.
+    stale_snapshots: int = 0
+    subscribers_accepted: int = 0
+    #: Subscribers dropped for transport failure or protocol violation.
+    drops: int = 0
+    frame_errors: int = 0
+    bytes_sent: int = 0
+    last_tick_bytes: int = 0
+
+
+@dataclass
+class _Subscriber:
+    transport: SocketTransport
+    address: tuple
+    #: Publisher's belief of the subscriber's replica epoch.
+    epoch: int = NO_REPLICA
+
+
+class ReplicaPublisher:
+    """Streams epoch-versioned replica updates to socket subscribers.
+
+    *broadcast* selects the steady-state protocol: ``"delta"`` ships the
+    per-tick change set to every subscriber whose epoch chains (snapshot
+    otherwise), ``"snapshot"`` re-broadcasts the full row set every tick
+    (the measurement baseline, and a safety valve).  *send_timeout*
+    bounds how long one stalled subscriber can hold the publish stage
+    before being dropped; *max_frame* is the socket frame guard.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        broadcast: str = "delta",
+        max_frame: int = DEFAULT_MAX_FRAME,
+        send_timeout: float = 5.0,
+        backlog: int = 16,
+    ):
+        if broadcast not in ("delta", "snapshot"):
+            raise ValueError(f"unknown broadcast mode {broadcast!r}")
+        self.broadcast = broadcast
+        self.max_frame = max_frame
+        self.send_timeout = send_timeout
+        self.stats = PublisherStats()
+        self._subscribers: list[_Subscriber] = []
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(backlog)
+        listener.setblocking(False)
+        self._listener = listener
+        self.address: tuple[str, int] = listener.getsockname()[:2]
+
+    @property
+    def num_subscribers(self) -> int:
+        return len(self._subscribers)
+
+    # -- subscriber lifecycle -----------------------------------------------------
+
+    def poll(self) -> None:
+        """Accept pending subscribers and drain their control messages.
+
+        Called automatically at every :meth:`publish`; callers may also
+        invoke it directly to pick up joiners between publishes.
+        """
+        if self._listener is None:
+            return
+        while True:
+            try:
+                sock, address = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:  # pragma: no cover - listener closed under us
+                break
+            transport = SocketTransport(
+                sock, max_frame=self.max_frame, timeout=self.send_timeout
+            )
+            self._subscribers.append(
+                _Subscriber(transport=transport, address=address)
+            )
+            self.stats.subscribers_accepted += 1
+        for subscriber in list(self._subscribers):
+            self._drain_control(subscriber)
+
+    def _drain_control(self, subscriber: _Subscriber) -> None:
+        while True:
+            try:
+                if not subscriber.transport.poll(0.0):
+                    return
+                message = subscriber.transport.recv()
+            except FrameError:
+                self.stats.frame_errors += 1
+                self._drop(subscriber)
+                return
+            except (EOFError, OSError):
+                self._drop(subscriber)
+                return
+            if (
+                isinstance(message, tuple)
+                and message
+                and message[0] == SUB_STALE
+            ):
+                # reuse PR 3's fault path: a stale replica is re-fed the
+                # snapshot at the next publish
+                subscriber.epoch = NO_REPLICA
+                self.stats.stale_snapshots += 1
+            else:
+                # a subscriber speaking an unknown control vocabulary is
+                # a protocol violation, same as a bad frame
+                self.stats.frame_errors += 1
+                self._drop(subscriber)
+                return
+
+    def _drop(self, subscriber: _Subscriber) -> None:
+        try:
+            subscriber.transport.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if subscriber in self._subscribers:
+            self._subscribers.remove(subscriber)
+            self.stats.drops += 1
+
+    # -- the publish stage --------------------------------------------------------
+
+    def publish(
+        self,
+        *,
+        epoch: int,
+        rows: list[dict[str, object]],
+        shard_conf: tuple,
+        delta: ReplicaDelta | None = None,
+    ) -> int:
+        """Bring every subscriber to *epoch*; returns bytes put on the wire.
+
+        *delta* (when given) must chain ``delta.epoch == epoch``; it is
+        shipped to subscribers whose believed epoch matches
+        ``delta.base_epoch`` under ``broadcast="delta"``.  Everyone else
+        gets the snapshot -- except subscribers already *at* ``epoch``
+        when there is no delta, which lets an engine re-run the publish
+        stage between ticks (late-joiner catch-up) without re-feeding
+        current subscribers.
+        """
+        self.poll()
+        stats = self.stats
+        stats.ticks += 1
+        stats.last_tick_bytes = 0
+        if not self._subscribers:
+            return 0
+        if delta is not None and delta.epoch != epoch:
+            delta = None  # defensive: a delta to some other epoch
+        blobs: dict[str, bytes] = {}
+
+        def delta_bytes() -> bytes:
+            if "delta" not in blobs:
+                blobs["delta"] = delta_blob(delta)
+            return blobs["delta"]
+
+        def snapshot_bytes() -> bytes:
+            if "snapshot" not in blobs:
+                blobs["snapshot"] = snapshot_blob(epoch, rows, shard_conf)
+            return blobs["snapshot"]
+
+        tick_bytes = 0
+        for subscriber in list(self._subscribers):
+            use_delta = (
+                self.broadcast == "delta"
+                and delta is not None
+                and subscriber.epoch == delta.base_epoch
+            )
+            if (
+                not use_delta
+                and delta is None
+                and subscriber.epoch == epoch
+            ):
+                continue  # already current; nothing new to ship
+            blob = delta_bytes() if use_delta else snapshot_bytes()
+            try:
+                sent = subscriber.transport.send_bytes(blob)
+            except (EOFError, OSError):
+                # dropped socket (possibly mid-delta on the peer side):
+                # remove the subscriber; a respawned replica re-joins as
+                # a late joiner and snapshot-catches-up
+                self._drop(subscriber)
+                continue
+            subscriber.epoch = epoch
+            tick_bytes += sent
+            if use_delta:
+                stats.delta_sends += 1
+            else:
+                stats.snapshot_sends += 1
+        stats.bytes_sent += tick_bytes
+        stats.last_tick_bytes = tick_bytes
+        return tick_bytes
+
+    def close(self) -> None:
+        for subscriber in list(self._subscribers):
+            try:
+                subscriber.transport.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._subscribers.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listener = None
+
+    def __enter__(self) -> "ReplicaPublisher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

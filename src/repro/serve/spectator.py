@@ -1,0 +1,478 @@
+"""The spectator read replica: a query server fed by the replica stream.
+
+:class:`SpectatorReplica` spawns a server *process* that
+
+* subscribes to a :class:`~repro.serve.publisher.ReplicaPublisher` over
+  :class:`~repro.serve.transport.SocketTransport` and maintains a
+  :class:`~repro.env.sharding.ReplicaTable` copy of ``E`` from the
+  epoch-versioned snapshot/delta stream (late join, stale epoch, and
+  dropped-feed handling exactly as the shard workers do it);
+* feeds every applied delta to a long-lived
+  :class:`~repro.serve.queries.QueryEngine`, whose aggregate index
+  structures and k-NN tree are *incrementally maintained* across epochs
+  instead of rebuilt per query;
+* listens on its own loopback/TCP port and answers
+  :class:`~repro.serve.queries.QueryRequest`\\ s from any number of
+  :class:`SpectatorClient`\\ s, each answer pinned to one consistent
+  replica epoch -- queries interleave with feed updates in a single
+  event loop, so an answer can never observe a half-applied tick.
+
+Epoch pinning: ``epoch="latest"`` answers at whatever epoch the replica
+holds; an integer epoch parks the request until the feed reaches that
+epoch (bounded by the request's timeout) and fails if the replica has
+already advanced past it -- replicas move forward only.
+
+The simulation never blocks on spectators: the publisher's send is the
+only coupling, and a slow or dead spectator is dropped there.
+"""
+
+from __future__ import annotations
+
+import selectors
+import time
+import traceback
+from dataclasses import dataclass
+
+from ..env.sharding import (
+    NO_REPLICA,
+    UPDATE_SNAPSHOT,
+    ReplicaTable,
+    StaleReplicaError,
+)
+from ..env.table import EnvironmentTable
+from .publisher import SUB_STALE
+from .queries import QueryAnswer, QueryError, build_request
+from .transport import DEFAULT_MAX_FRAME, FrameError, SocketTransport
+
+#: Client -> spectator request tags.
+REQ_QUERY = "query"
+REQ_STATUS = "status"
+REQ_SET_EPOCH = "set_epoch"  # fault-injection hook (tests/chaos drills)
+REQ_STOP = "stop"
+
+#: Spectator -> client reply tags.
+RESP_OK = "ok"
+RESP_ERROR = "error"
+
+#: How long a pinned-epoch query may park awaiting its epoch (seconds);
+#: clients may override per request.
+DEFAULT_QUERY_TIMEOUT = 30.0
+
+
+class SpectatorError(RuntimeError):
+    """A spectator request failed (server-side error string attached)."""
+
+
+@dataclass
+class _PendingQuery:
+    """A pinned-epoch query parked until the feed catches up."""
+
+    transport: SocketTransport
+    request: object
+    deadline: float
+
+
+class _SpectatorServer:
+    """The in-process event loop behind a spawned spectator replica."""
+
+    def __init__(self, game, payload: dict, publisher_address):
+        import socket
+
+        from .queries import QueryEngine
+
+        self.game = game
+        max_frame = int(payload.get("max_frame", DEFAULT_MAX_FRAME))
+        self.replica = ReplicaTable(game.schema.key)
+        self.engine = QueryEngine(
+            game.schema, game.registry, maintenance="incremental"
+        )
+        # a finite feed timeout keeps the single-threaded event loop
+        # unwedgeable: a publisher that stalls mid-frame (half-open
+        # connection, network partition) surfaces as a transport error
+        # and the replica keeps serving its last epoch, mirroring the
+        # publisher's own send-timeout guard on the other side
+        self.feed = SocketTransport.connect(
+            tuple(publisher_address),
+            max_frame=max_frame,
+            timeout=float(payload.get("feed_timeout", 60.0)),
+        )
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind((payload.get("host", "127.0.0.1"), 0))
+        listener.listen(16)
+        listener.setblocking(False)
+        self.listener = listener
+        self.address = listener.getsockname()[:2]
+        self.max_frame = max_frame
+        self.feed_alive = True
+        self.pending: list[_PendingQuery] = []
+        self.updates_applied = 0
+        self.snapshots_applied = 0
+        self.stale_reports = 0
+
+    # -- feed handling ------------------------------------------------------------
+
+    def apply_update(self, update) -> None:
+        """Apply one snapshot/delta blob to the replica and the indexes."""
+        if update[0] == UPDATE_SNAPSHOT:
+            _, epoch, rows, _shard_conf = update
+            # shard_conf is ignored: the spectator's evaluator is flat,
+            # and index answers are shard-layout independent anyway
+            self.replica.apply_snapshot(epoch, rows)
+            self.engine.begin(self._replica_env(), delta=None)
+            self.snapshots_applied += 1
+        else:
+            rd = update[1]
+            try:
+                table_delta = self.replica.apply_delta(rd)
+            except StaleReplicaError:
+                # can't absorb this delta; drop the replica (it may have
+                # half-applied) and ask the publisher for a snapshot
+                self.replica.invalidate()
+                self.stale_reports += 1
+                self.feed.send((SUB_STALE, NO_REPLICA))
+                return
+            self.engine.begin(self._replica_env(), delta=table_delta)
+        self.updates_applied += 1
+
+    def _replica_env(self) -> EnvironmentTable:
+        env = EnvironmentTable(self.game.schema)
+        env.rows.extend(self.replica.rows)
+        return env
+
+    def drain_feed(self) -> None:
+        while self.feed_alive and self.feed.poll(0.0):
+            try:
+                self.apply_update(self.feed.recv())
+            except (EOFError, OSError):
+                # publisher gone: keep answering at the last held epoch
+                self.feed_alive = False
+
+    # -- request handling ---------------------------------------------------------
+
+    def handle_request(self, transport: SocketTransport, message) -> bool:
+        """Serve one client message; returns False when asked to stop."""
+        tag = message[0] if isinstance(message, tuple) and message else None
+        if tag == REQ_QUERY:
+            request = message[1]
+            deadline = time.monotonic() + float(
+                message[2] if len(message) > 2 else DEFAULT_QUERY_TIMEOUT
+            )
+            if not self._try_answer(transport, request):
+                self.pending.append(
+                    _PendingQuery(transport, request, deadline)
+                )
+            return True
+        if tag == REQ_STATUS:
+            transport.send(
+                (
+                    RESP_OK,
+                    {
+                        "epoch": self.replica.epoch,
+                        "rows": len(self.replica.rows),
+                        "feed_alive": self.feed_alive,
+                        "updates_applied": self.updates_applied,
+                        "snapshots_applied": self.snapshots_applied,
+                        "stale_reports": self.stale_reports,
+                        "engine_stats": dict(self.engine.stats),
+                        "evaluator_stats": dict(self.engine.evaluator.stats),
+                    },
+                )
+            )
+            return True
+        if tag == REQ_SET_EPOCH:  # fault injection: pretend to drift
+            self.replica.epoch = message[1]
+            transport.send((RESP_OK, self.replica.epoch))
+            return True
+        if tag == REQ_STOP:
+            transport.send((RESP_OK, None))
+            return False
+        transport.send((RESP_ERROR, f"unknown request {tag!r}"))
+        return True
+
+    def _try_answer(self, transport: SocketTransport, request) -> bool:
+        """Answer now if the pinned epoch allows it; True when replied."""
+        held = self.replica.epoch
+        wanted = getattr(request, "epoch", "latest")
+        if wanted == "latest":
+            if held == NO_REPLICA:
+                return False  # no replica yet: park until the first feed
+        elif not isinstance(wanted, int):
+            self._send_reply(
+                transport, (RESP_ERROR, f"bad epoch {wanted!r}")
+            )
+            return True
+        elif held == NO_REPLICA or held < wanted:
+            return False  # park until the feed reaches the epoch
+        elif held > wanted:
+            self._send_reply(
+                transport,
+                (
+                    RESP_ERROR,
+                    f"epoch {wanted} already superseded (replica at "
+                    f"{held}); replicas only move forward",
+                ),
+            )
+            return True
+        try:
+            value = self.engine.answer(request)
+            reply = (RESP_OK, QueryAnswer(epoch=self.replica.epoch, value=value))
+        except QueryError as exc:
+            reply = (RESP_ERROR, str(exc))
+        except Exception:  # noqa: BLE001 - surface, never kill the loop
+            reply = (RESP_ERROR, traceback.format_exc())
+        self._send_reply(transport, reply)
+        return True
+
+    def _send_reply(self, transport: SocketTransport, reply) -> None:
+        try:
+            transport.send(reply)
+        except (EOFError, OSError):
+            pass  # client went away; its selector entry cleans up on read
+
+    def retry_pending(self) -> None:
+        now = time.monotonic()
+        still: list[_PendingQuery] = []
+        for item in self.pending:
+            if self._try_answer(item.transport, item.request):
+                continue
+            if now >= item.deadline:
+                self._send_reply(
+                    item.transport,
+                    (
+                        RESP_ERROR,
+                        f"timed out waiting for epoch "
+                        f"{getattr(item.request, 'epoch', 'latest')!r} "
+                        f"(replica at {self.replica.epoch}, feed "
+                        f"{'alive' if self.feed_alive else 'closed'})",
+                    ),
+                )
+                continue
+            still.append(item)
+        self.pending = still
+
+    # -- the event loop -----------------------------------------------------------
+
+    def run(self) -> None:
+        sel = selectors.DefaultSelector()
+        sel.register(self.feed, selectors.EVENT_READ, "feed")
+        sel.register(self.listener, selectors.EVENT_READ, "accept")
+        running = True
+        while running:
+            timeout = 0.05 if self.pending else 0.5
+            for key, _ in sel.select(timeout):
+                what = key.data
+                if what == "feed":
+                    self.drain_feed()
+                    if not self.feed_alive:
+                        sel.unregister(self.feed)
+                        self.feed.close()
+                elif what == "accept":
+                    try:
+                        sock, _addr = self.listener.accept()
+                    except (BlockingIOError, InterruptedError):
+                        continue
+                    client = SocketTransport(
+                        sock, max_frame=self.max_frame, timeout=30.0
+                    )
+                    sel.register(client, selectors.EVENT_READ, ("client", client))
+                else:
+                    _, client = what
+                    try:
+                        message = client.recv()
+                    except (FrameError, EOFError, OSError):
+                        sel.unregister(client)
+                        client.close()
+                        self.pending = [
+                            p for p in self.pending if p.transport is not client
+                        ]
+                        continue
+                    if not self.handle_request(client, message):
+                        running = False
+            self.retry_pending()
+        sel.close()
+        if self.feed_alive:
+            self.feed.close()
+        self.listener.close()
+
+
+def _spectator_main(factory, payload: dict, publisher_address, ready_conn):
+    """Entry point of the spawned spectator process."""
+    try:
+        server = _SpectatorServer(factory(), payload, publisher_address)
+    except BaseException:
+        try:
+            ready_conn.send(("error", traceback.format_exc()))
+        finally:
+            ready_conn.close()
+        return
+    ready_conn.send(("ready", server.address))
+    ready_conn.close()
+    try:
+        server.run()
+    except KeyboardInterrupt:  # pragma: no cover - parent teardown
+        pass
+
+
+class SpectatorReplica:
+    """Parent-side handle of a spawned spectator replica process."""
+
+    def __init__(self, process, address: tuple[str, int]):
+        self.process = process
+        self.address = address
+
+    @classmethod
+    def spawn(
+        cls,
+        publisher_address: tuple[str, int],
+        factory,
+        *,
+        payload: dict | None = None,
+        mp_context=None,
+        startup_timeout: float = 30.0,
+    ) -> "SpectatorReplica":
+        """Start a spectator subscribed to *publisher_address*.
+
+        *factory* is the same picklable game factory the worker pool
+        uses (a module-level callable returning a
+        :class:`~repro.engine.shardexec.WorkerGame`); the spectator
+        builds its registry and schema from it inside the process.
+        """
+        import multiprocessing
+
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+        parent_conn, child_conn = mp_context.Pipe()
+        process = mp_context.Process(
+            target=_spectator_main,
+            args=(factory, payload or {}, publisher_address, child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(startup_timeout):
+            process.terminate()
+            raise SpectatorError("spectator replica did not start in time")
+        tag, value = parent_conn.recv()
+        parent_conn.close()
+        if tag != "ready":
+            process.join(timeout=5)
+            raise SpectatorError(f"spectator replica failed to start:\n{value}")
+        return cls(process, tuple(value))
+
+    def client(self, **kwargs) -> "SpectatorClient":
+        return SpectatorClient(self.address, **kwargs)
+
+    def kill(self) -> None:
+        """Hard-kill the process (fault-injection drills)."""
+        self.process.kill()
+        self.process.join(timeout=5)
+
+    def close(self) -> None:
+        """Stop the server (graceful request, then terminate fallback)."""
+        if not self.process.is_alive():
+            return
+        try:
+            with SpectatorClient(self.address, timeout=5.0) as client:
+                client.stop_server()
+        except (SpectatorError, OSError, EOFError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - stuck server
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+    def __enter__(self) -> "SpectatorReplica":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SpectatorClient:
+    """Request/response client for one spectator replica.
+
+    ``query`` accepts a registered aggregate name, a canned kind
+    (``team_counts`` / ``hp_histogram`` / ``knn``), or SGL source text
+    (``function F(...) returns SELECT ...``), plus positional arguments
+    (use :func:`~repro.serve.queries.unit_ref` for row-valued ones) and
+    an *epoch* pin.  Returns a
+    :class:`~repro.serve.queries.QueryAnswer` carrying the value and
+    the epoch it was answered at.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        timeout: float = DEFAULT_QUERY_TIMEOUT,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ):
+        self.timeout = timeout
+        self._transport = SocketTransport.connect(
+            tuple(address), max_frame=max_frame, timeout=timeout + 5.0
+        )
+
+    def _round_trip(self, message, wait: float | None = None):
+        """One request/reply exchange.
+
+        The socket timeout always out-waits the server's own deadline
+        (*wait* + grace), so the server's timed-out-reply error arrives
+        instead of a client-side timeout.  If the socket does time out
+        anyway (dead server, stalled link), the connection is closed:
+        a late reply landing on a reused stream would desynchronize
+        request/reply pairing and hand back an answer for the wrong
+        query.
+        """
+        if wait is not None:
+            self._transport.settimeout(wait + 5.0)
+        try:
+            self._transport.send(message)
+            reply = self._transport.recv()
+        except TimeoutError:
+            self._transport.close()
+            raise SpectatorError(
+                "spectator did not reply in time; connection closed "
+                "(a reply may still be in flight and cannot be re-paired)"
+            ) from None
+        tag = reply[0]
+        if tag == RESP_ERROR:
+            raise SpectatorError(reply[1])
+        if tag != RESP_OK:  # pragma: no cover - protocol bug
+            raise SpectatorError(f"unexpected reply tag {tag!r}")
+        return reply[1]
+
+    def query(
+        self,
+        source_or_name: str,
+        *args: object,
+        epoch: object = "latest",
+        timeout: float | None = None,
+        **params: object,
+    ) -> QueryAnswer:
+        request = build_request(
+            source_or_name, tuple(args), epoch=epoch, **params
+        )
+        wait = timeout if timeout is not None else self.timeout
+        return self._round_trip((REQ_QUERY, request, wait), wait=wait)
+
+    def status(self) -> dict:
+        return self._round_trip((REQ_STATUS,))
+
+    def debug_set_epoch(self, epoch: int) -> int:
+        """Fault injection: drift the replica's believed epoch."""
+        return self._round_trip((REQ_SET_EPOCH, epoch))
+
+    def stop_server(self) -> None:
+        self._round_trip((REQ_STOP,))
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "SpectatorClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
