@@ -50,9 +50,13 @@ from benchmarks.util import (
     make_battle_env,
     write_bench_json,
 )
-from repro.engine.shardexec import delta_blob, snapshot_blob
 from repro.env.schema import battle_schema
-from repro.env.sharding import encode_replica_delta, make_sharder
+from repro.env.sharding import (
+    delta_blob,
+    encode_replica_delta,
+    make_sharder,
+    snapshot_blob,
+)
 from repro.env.table import diff_by_key
 from repro.game.battle import BattleSimulation
 

@@ -49,6 +49,10 @@ TIMING_SERIES = (
     ("rebuild_s", ("changed_fraction",)),
     ("incremental_s", ("changed_fraction",)),
     ("s_per_query", ("config",)),
+    ("s_per_tick_remote", ("config",)),
+    # not a timing, but the same ratio-watch applies: a quiet growth in
+    # per-tick broadcast bytes is a wire-protocol regression
+    ("broadcast_bytes", ("config",)),
 )
 
 

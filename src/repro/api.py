@@ -111,6 +111,10 @@ class GameDefinition:
         max_workers: int | None = None,
         worker_broadcast: str = "delta",
         worker_factory: Callable | None = None,
+        workers: object = "local",
+        worker_scope: str = "full",
+        worker_timeout: float | None = 60.0,
+        worker_max_frame: int | None = None,
         spectators: bool = False,
         spectator_broadcast: str = "delta",
     ) -> SimulationEngine:
@@ -135,6 +139,16 @@ class GameDefinition:
         long-lived workers' replicas of ``E`` current per
         *worker_broadcast* -- ``"delta"`` (default) ships epoch-versioned
         change sets, ``"snapshot"`` re-broadcasts all rows every tick.
+        *workers* selects where those processes run: ``"local"``
+        (default) spawns them on this host; a list of ``"host:port"``
+        endpoints connects to remote decision workers started with
+        ``python -m repro.engine.shardexec --listen`` over the socket
+        transport, with reconnect-and-resnapshot fault recovery.
+        *worker_scope* -- ``"full"`` replicates all of ``E`` to every
+        worker; ``"shards"`` is the per-shard probe split (each worker
+        holds and indexes only its own shards, forwarding non-local
+        probes to the coordinator; needs ``mode="indexed"`` and
+        ``optimize_aoe=True``).
 
         *spectators* opens the engine's read-replica feed
         (``engine.spectator_address``): each tick's post-state streams
@@ -179,6 +193,10 @@ class GameDefinition:
                 max_workers=max_workers,
                 worker_broadcast=worker_broadcast,
                 worker_factory=worker_factory,
+                workers=workers,
+                worker_scope=worker_scope,
+                worker_timeout=worker_timeout,
+                worker_max_frame=worker_max_frame,
                 spectators=spectators,
                 spectator_broadcast=spectator_broadcast,
             ),
@@ -202,6 +220,8 @@ def run_battle(
     parallelism: str = "serial",
     max_workers: int | None = None,
     worker_broadcast: str = "delta",
+    workers: object = "local",
+    worker_scope: str = "full",
 ) -> BattleSummary:
     """One-call battle run; returns the summary with per-tick stats.
 
@@ -233,5 +253,7 @@ def run_battle(
         parallelism=parallelism,
         max_workers=max_workers,
         worker_broadcast=worker_broadcast,
+        workers=workers,
+        worker_scope=worker_scope,
     ) as sim:
         return sim.run(ticks)

@@ -17,7 +17,14 @@ from .evaluator import (
 from .movement import Grid, desired_direction, run_movement_phase
 from .postprocess import example_41_postprocess
 from .rng import TickRandom, splitmix64
-from .shardexec import PoolStats, ReplicaWorkerPool, WorkerGame
+from .shardexec import (
+    PoolStats,
+    ReplicaWorkerPool,
+    WorkerEndpoint,
+    WorkerGame,
+    serve_worker,
+    spawn_listen_worker,
+)
 
 __all__ = [
     "AoeRecord",
@@ -32,7 +39,10 @@ __all__ = [
     "SimulationEngine",
     "TickRandom",
     "TickStats",
+    "WorkerEndpoint",
     "WorkerGame",
+    "serve_worker",
+    "spawn_listen_worker",
     "collect_call_hints",
     "desired_direction",
     "empty_aggregate_result",

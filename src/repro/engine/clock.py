@@ -72,7 +72,7 @@ from ..env.table import EnvironmentTable, TableDelta, diff_by_key
 from ..sgl import ast
 from ..sgl.analysis import analyze_script
 from ..sgl.builtins import FunctionRegistry
-from ..sgl.evalterm import EvalContext
+from ..sgl.evalterm import EvalContext, eval_term
 from .decision import DecisionRunner
 from .effects import AoeRecord, resolve_aoe
 from .evaluator import CallHint, IndexedEvaluator, NaiveEvaluator, collect_call_hints
@@ -161,6 +161,33 @@ class EngineConfig:
       pre-replica protocol, kept for measurement and as a safety
       valve).  Both are bit-identical in trajectory.
 
+    Distributed decision workers (``parallelism="processes"`` only):
+
+    * ``workers`` -- ``"local"`` (default) spawns pipe-connected worker
+      processes on this host; a list of ``"host:port"`` endpoints (or
+      ``(host, port)`` pairs /
+      :class:`~repro.engine.shardexec.WorkerEndpoint`\\ s) instead
+      connects to remote decision workers started with ``python -m
+      repro.engine.shardexec --listen HOST:PORT``, one session per
+      endpoint, speaking the same addressed epoch-acked protocol over
+      :class:`~repro.serve.transport.SocketTransport`.  A dropped
+      connection is re-established and the fresh session is
+      snapshot-fed -- fault recovery degrades to re-broadcast, never to
+      wrong answers;
+    * ``worker_scope`` -- ``"full"`` (default) gives every worker a full
+      replica of ``E``; ``"shards"`` enables the per-shard probe split:
+      each worker holds (and indexes) only its own shards' rows, probes
+      that provably touch only owned data answer locally, and everything
+      else is forwarded mid-tick to the coordinator's full-environment
+      evaluator.  Requires ``mode="indexed"`` and ``optimize_aoe=True``
+      (scoped workers defer area effects to the coordinator).  Cuts
+      broadcast bytes and duplicated index builds; bit-identical either
+      way;
+    * ``worker_timeout`` / ``worker_max_frame`` -- socket knobs for
+      remote workers: the per-message send/recv timeout before a peer
+      is declared dead, and the transport frame-size guard (which must
+      admit a full snapshot of the environment).
+
     Spectator serving knobs (the ``repro.serve`` read-replica layer):
 
     * ``spectators`` -- when true, the engine opens a
@@ -200,6 +227,14 @@ class EngineConfig:
     #: :class:`~repro.engine.shardexec.WorkerGame`; required (and only
     #: used) by ``parallelism="processes"``.
     worker_factory: Callable | None = None
+    #: "local" | list of remote worker endpoints ("host:port" strings,
+    #: (host, port) pairs, or WorkerEndpoint objects).
+    workers: object = "local"
+    worker_scope: str = "full"  # "full" | "shards" (per-shard probe split)
+    #: Socket send/recv timeout for remote workers (None blocks forever).
+    worker_timeout: float | None = 60.0
+    #: Frame-size guard for remote worker transports (None = default).
+    worker_max_frame: int | None = None
     spectators: bool = False
     spectator_host: str = "127.0.0.1"
     spectator_port: int = 0
@@ -256,6 +291,43 @@ class SimulationEngine:
                 "(a module-level callable returning a WorkerGame); "
                 "BattleSimulation supplies its own"
             )
+        if cfg.worker_scope not in ("full", "shards"):
+            raise ValueError(f"unknown worker_scope {cfg.worker_scope!r}")
+        self._worker_endpoints = None
+        if cfg.workers != "local":
+            if isinstance(cfg.workers, str):
+                raise ValueError(
+                    f"workers must be 'local' or a list of host:port "
+                    f"endpoints, got {cfg.workers!r}"
+                )
+            from .shardexec import WorkerEndpoint
+
+            self._worker_endpoints = [
+                WorkerEndpoint.parse(e) for e in cfg.workers
+            ]
+            if not self._worker_endpoints:
+                raise ValueError("workers endpoint list is empty")
+            if cfg.parallelism != "processes":
+                raise ValueError(
+                    "remote worker endpoints require parallelism='processes'"
+                )
+            if cfg.num_shards < 2:
+                raise ValueError(
+                    "remote worker endpoints require num_shards >= 2: with "
+                    "one shard the decision stage runs in-process and the "
+                    "fleet would silently never be contacted"
+                )
+        if (
+            cfg.worker_scope == "shards"
+            and cfg.parallelism == "processes"
+            and (cfg.mode != "indexed" or not cfg.optimize_aoe)
+        ):
+            raise ValueError(
+                "worker_scope='shards' needs mode='indexed' and "
+                "optimize_aoe=True: scoped workers answer probes through "
+                "the scoped index layer and defer area effects to the "
+                "coordinator"
+            )
         self.indexed = cfg.mode == "indexed"
         self.rng = TickRandom(cfg.seed, key_attr=env.schema.key)
         self.tick_count = 0
@@ -291,8 +363,16 @@ class SimulationEngine:
         # the spectator publish stage.
         self._pending_delta: TableDelta | None = None
         self._pending_replica_delta = None  # ReplicaDelta | None
+        #: Raw change capture for scoped (probe-split) worker broadcasts:
+        #: (TableDelta, old rows, new rows, target epoch), or None.  The
+        #: per-worker scoped ReplicaDeltas are encoded from it lazily.
+        self._pending_raw_delta = None
         self._last_broadcast_bytes = 0
         self.publisher = None  # ReplicaPublisher | None
+        # forwarded-probe service for scoped workers: armed lazily, once
+        # per tick, on the first request
+        self._remote_eval_tick = -1
+        self._remote_by_key = None
         self._refresh_capture_flags()
         if cfg.spectators:
             self.serve_spectators(
@@ -318,27 +398,39 @@ class SimulationEngine:
         if self._pool is None:
             cfg = self.config
             if self._processes:
-                import multiprocessing
-
                 from .shardexec import ReplicaWorkerPool
 
-                methods = multiprocessing.get_all_start_methods()
-                ctx = multiprocessing.get_context(
-                    "fork" if "fork" in methods else "spawn"
-                )
                 payload = {
                     "mode": cfg.mode,
                     "optimize_aoe": cfg.optimize_aoe,
                     "cascade": cfg.cascade,
                     "seed": cfg.seed,
                     "shard_conf": self._shard_conf,
+                    "worker_scope": cfg.worker_scope,
                 }
-                workers = min(
-                    cfg.max_workers or cfg.num_shards, cfg.num_shards
-                )
-                self._pool = ReplicaWorkerPool(
-                    cfg.worker_factory, payload, workers, ctx
-                )
+                if self._worker_endpoints is not None:
+                    from ..serve.transport import DEFAULT_MAX_FRAME
+
+                    self._pool = ReplicaWorkerPool(
+                        cfg.worker_factory,
+                        payload,
+                        endpoints=self._worker_endpoints,
+                        max_frame=cfg.worker_max_frame or DEFAULT_MAX_FRAME,
+                        io_timeout=cfg.worker_timeout,
+                    )
+                else:
+                    import multiprocessing
+
+                    methods = multiprocessing.get_all_start_methods()
+                    ctx = multiprocessing.get_context(
+                        "fork" if "fork" in methods else "spawn"
+                    )
+                    workers = min(
+                        cfg.max_workers or cfg.num_shards, cfg.num_shards
+                    )
+                    self._pool = ReplicaWorkerPool(
+                        cfg.worker_factory, payload, workers, ctx
+                    )
             else:
                 workers = cfg.max_workers or cfg.num_shards
                 self._pool = ThreadPoolExecutor(
@@ -354,17 +446,26 @@ class SimulationEngine:
         return getattr(self._pool, "stats", None)
 
     def close(self) -> None:
-        """Shut down the worker pool and the spectator publisher."""
+        """Shut down the spectator publisher, then the worker pool.
+
+        Publisher first: closing the feed while worker processes are
+        still alive gives every subscribed spectator a clean EOF on a
+        quiescent socket, instead of racing worker teardown and
+        surfacing as spurious ``ConnectionResetError``/``EOFError``
+        noise on half-closed peers.  Idempotent -- safe to call any
+        number of times (context managers and explicit ``close()``
+        calls may both run).
+        """
+        if self.publisher is not None:
+            self.publisher.close()
+            self.publisher = None
+            self._refresh_capture_flags()
         if self._pool is not None:
             if hasattr(self._pool, "shutdown"):
                 self._pool.shutdown(wait=True)
             else:
                 self._pool.close()
             self._pool = None
-        if self.publisher is not None:
-            self.publisher.close()
-            self.publisher = None
-            self._refresh_capture_flags()
 
     # -- spectator serving --------------------------------------------------------
 
@@ -439,11 +540,21 @@ class SimulationEngine:
         )
         # replica broadcasts: the same diff, encoded for the wire --
         # consumed by the process-worker broadcast and/or streamed to
-        # delta-mode spectator subscribers by the publish stage.
+        # delta-mode spectator subscribers by the publish stage.  Scoped
+        # (probe-split) workers consume the *raw* capture instead: their
+        # per-worker deltas are filtered to each worker's shards.
+        scoped_workers = (
+            self._processes and cfg.worker_scope == "shards"
+        )
         self._capture_replica_delta = (
-            self._processes and cfg.worker_broadcast == "delta"
+            self._processes
+            and cfg.worker_broadcast == "delta"
+            and not scoped_workers
         ) or (
             self.publisher is not None and self.publisher.broadcast == "delta"
+        )
+        self._capture_raw_delta = (
+            scoped_workers and cfg.worker_broadcast == "delta"
         )
 
     def _refresh_sharding(self) -> None:
@@ -464,6 +575,14 @@ class SimulationEngine:
             return
         if cfg.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {cfg.num_shards}")
+        if self._worker_endpoints is not None and cfg.num_shards < 2:
+            # same guard as construction: dropping to one shard would
+            # run decisions in-process and silently idle the fleet
+            raise ValueError(
+                "remote worker endpoints require num_shards >= 2; a "
+                "mid-run reshard to one shard would silently stop "
+                "contacting the fleet"
+            )
         self.shard_of = make_sharder(
             cfg.shard_by, cfg.num_shards, extent=cfg.spatial_extent
         )
@@ -476,6 +595,7 @@ class SimulationEngine:
             self.agg_eval.reshard(self.shard_of, cfg.num_shards)
         self._pending_delta = None
         self._pending_replica_delta = None
+        self._pending_raw_delta = None
         self._refresh_capture_flags()
 
     # -- script compilation cache -------------------------------------------------
@@ -571,39 +691,242 @@ class SimulationEngine:
     ) -> list[tuple[list[dict[str, object]], list[AoeRecord]]]:
         """Stage 2 in worker processes: update replicas, gather effects.
 
-        Each worker holds a replica of ``E`` at some acked epoch; the
-        broadcast ships last tick's captured delta to every worker whose
-        epoch matches, and the full snapshot (pickled at most once per
+        Each worker holds a replica of ``E`` (full, or -- under
+        ``worker_scope="shards"`` -- just its own shards' slice) at some
+        acked epoch; the broadcast ships last tick's captured delta to
+        every worker whose epoch matches, and the snapshot for the
+        worker's scope (each distinct blob pickled at most once per
         tick) to the rest -- always on rebuild ticks (no usable delta),
-        shard layout changes, stale/respawned workers, and under
-        ``worker_broadcast="snapshot"``.  Shards are bundled one group
-        per worker; results are re-ordered by shard id for the
-        deterministic ⊕-merge.
+        shard layout changes, stale/respawned/reconnected workers, and
+        under ``worker_broadcast="snapshot"``.  Shards are bundled one
+        group per worker -- round-robin for full replicas, contiguous
+        blocks for scoped ones (spatial strips stay local to their
+        worker, maximising locally-answerable probes); results are
+        re-ordered by shard id for the deterministic ⊕-merge.
         """
-        from .shardexec import snapshot_blob
+        from ..env.sharding import (
+            delta_blob,
+            encode_replica_delta,
+            scope_table_delta,
+            scoped_snapshot_blob,
+            snapshot_blob,
+        )
+        from .shardexec import TickUpdate
 
         pool = self._ensure_pool()
         num_shards = sharded.num_shards
         workers = min(pool.num_workers, num_shards)
-        bundles: list[tuple[int, list[int]]] = [
-            (w, list(range(w, num_shards, workers))) for w in range(workers)
-        ]
+        scoped = self.config.worker_scope == "shards"
+        if scoped:
+            cuts = [num_shards * w // workers for w in range(workers + 1)]
+            bundles: list[tuple[int, list[int]]] = [
+                (w, list(range(cuts[w], cuts[w + 1])))
+                for w in range(workers)
+            ]
+        else:
+            bundles = [
+                (w, list(range(w, num_shards, workers)))
+                for w in range(workers)
+            ]
         epoch = self.tick_count
         rd = self._pending_replica_delta
         self._pending_replica_delta = None
         if rd is not None and rd.epoch != epoch:
             rd = None  # captured under a different pipeline state
+        raw = self._pending_raw_delta
+        self._pending_raw_delta = None
+        if raw is not None and raw[3] != epoch:
+            raw = None
         rows = self.env.rows
         shard_conf = self._shard_conf
+        shard_of = self.shard_of
+        key_attr = self.env.schema.key
+
+        blobs: dict[tuple, bytes] = {}
+        # per-row shard ids, classified once per tick and shared by every
+        # scope's filter (rows == the raw capture's new_rows, when set)
+        shard_id_cache: dict[int, list[int]] = {}
+
+        def shard_ids_of(which_rows) -> list[int]:
+            cached = shard_id_cache.get(id(which_rows))
+            if cached is None:
+                cached = [shard_of(row) for row in which_rows]
+                shard_id_cache[id(which_rows)] = cached
+            return cached
+
+        def delta_blob_for(scope):
+            if scope is None:
+                if rd is None:
+                    return None
+                key = ("delta", None)
+                if key not in blobs:
+                    blobs[key] = delta_blob(rd)
+                return blobs[key]
+            if raw is None:
+                return None
+            key = ("delta", scope)
+            if key not in blobs:
+                delta, old_rows, new_rows, target_epoch = raw
+                scoped_delta, old_order, new_order = scope_table_delta(
+                    delta,
+                    old_rows,
+                    new_rows,
+                    scope,
+                    shard_of,
+                    key_attr=key_attr,
+                    old_shard_ids=shard_ids_of(old_rows),
+                    new_shard_ids=shard_ids_of(new_rows),
+                )
+                blobs[key] = delta_blob(
+                    encode_replica_delta(
+                        scoped_delta,
+                        old_order,
+                        new_order,
+                        key_attr=key_attr,
+                        base_epoch=target_epoch - 1,
+                        epoch=target_epoch,
+                        shard_of=shard_of,
+                    )
+                )
+            return blobs[key]
+
+        def snapshot_blob_for(scope):
+            key = ("snapshot", scope)
+            if key not in blobs:
+                blobs[key] = (
+                    snapshot_blob(epoch, rows, shard_conf)
+                    if scope is None
+                    else scoped_snapshot_blob(
+                        epoch,
+                        rows,
+                        shard_conf,
+                        scope,
+                        shard_of,
+                        shard_ids=shard_ids_of(rows),
+                    )
+                )
+            return blobs[key]
+
         by_shard = pool.run_tick(
             tick=self.tick_count,
             epoch=epoch,
             bundles=bundles,
-            delta=rd,
-            snapshot=lambda: snapshot_blob(epoch, rows, shard_conf),
+            update=TickUpdate(
+                base_epoch=epoch - 1,
+                delta_blob_for=delta_blob_for,
+                snapshot_blob_for=snapshot_blob_for,
+            ),
+            answer=self._answer_worker_request,
+            scoped=scoped,
         )
         self._last_broadcast_bytes = pool.stats.last_tick_bytes
         return [by_shard[shard_id] for shard_id in range(num_shards)]
+
+    # -- forwarded evaluation: the scoped workers' escape hatch ---------------------
+
+    def _arm_remote_eval(self) -> None:
+        """Arm the coordinator's own evaluator for forwarded probes.
+
+        In processes mode the parent evaluator never runs in the tick
+        pipeline, so it is armed lazily -- once per tick, on the first
+        forwarded request -- with plain rebuild semantics over the
+        tick-start environment.  Index structures build on first probe,
+        so only the aggregates that actually get forwarded pay.
+        """
+        if self._remote_eval_tick == self.tick_count:
+            return
+        self.agg_eval.begin_tick(self.env, (), delta=None)
+        try:
+            self._remote_by_key = self.env.by_key()
+        except ValueError:  # duplicate keys: key actions degrade to scan
+            self._remote_by_key = None
+        self._remote_eval_tick = self.tick_count
+
+    def _answer_worker_request(self, request: tuple) -> tuple:
+        """Serve one scoped worker's mid-tick evaluation request.
+
+        Forwarded probes and actions evaluate against the coordinator's
+        full environment through exactly the code paths the serial
+        engine uses (same evaluator machinery, same counter-mode rng),
+        so a forwarded answer is bit-identical to the one a full-replica
+        worker -- or the flat engine -- would compute.  Failures are
+        returned as error replies, never raised: the worker surfaces
+        them through its own REPLY_ERROR path.
+        """
+        from .shardexec import REPLY_EVAL, REPLY_EVAL_ERROR
+
+        try:
+            kind, name, args, unit = request
+            self._arm_remote_eval()
+            if kind == "aggregate":
+                fn = self.registry.aggregates.get(name)
+                if fn is None:
+                    raise ValueError(f"unknown aggregate function {name!r}")
+                # unit is the performing unit's row, re-bound here so
+                # unit-keyed constructs (single-arg Random(i)) resolve
+                # exactly as they do when the serial engine evaluates
+                ctx = EvalContext(
+                    env=self.env,
+                    registry=self.registry,
+                    agg_eval=self.agg_eval,
+                    rng=self.rng,
+                    bindings={},
+                    unit=unit,
+                )
+                return (REPLY_EVAL, self.agg_eval.evaluate(fn, list(args), ctx))
+            if kind == "action":
+                return (
+                    REPLY_EVAL,
+                    self._eval_remote_action(name, list(args), unit),
+                )
+            raise ValueError(f"unknown worker request kind {kind!r}")
+        except BaseException:
+            import traceback
+
+            return (REPLY_EVAL_ERROR, traceback.format_exc())
+
+    def _eval_remote_action(
+        self, name: str, args: list, unit: Mapping[str, object] | None
+    ) -> list[dict[str, object]]:
+        """Evaluate one forwarded action; returns its effect rows.
+
+        Mirrors :class:`~repro.engine.decision.DecisionRunner`'s
+        dispatch: key-shaped actions resolve through the full ``by_key``
+        (a missing key means the target is globally dead -- no effect,
+        exactly the serial semantics), everything else runs the
+        Eq.-(4) scan over all of ``E``.
+        """
+        from ..sgl.sqlspec import apply_action_scan
+        from .decision import apply_key_target
+
+        builtin = self.registry.actions.get(name)
+        if builtin is None:
+            raise ValueError(f"unknown action function {name!r}")
+        ctx = EvalContext(
+            env=self.env,
+            registry=self.registry,
+            agg_eval=self.agg_eval,
+            rng=self.rng,
+            bindings={},
+            unit=unit,
+        )
+        if builtin.native is not None:
+            return list(builtin.native(args, ctx))
+        bindings = dict(zip(builtin.params, args))
+        shape = self._action_shapes.get(name)
+        if (
+            shape is not None
+            and shape.kind == "key"
+            and self._remote_by_key is not None
+        ):
+            probe_ctx = ctx.bind(bindings)
+            target_key = eval_term(shape.key_term, probe_ctx)
+            row = self._remote_by_key.get(target_key)
+            if row is None:
+                return []
+            new_row = apply_key_target(builtin, shape, probe_ctx, row)
+            return [] if new_row is None else [new_row]
+        return list(apply_action_scan(builtin.spec, bindings, ctx))
 
     # -- the tick loop --------------------------------------------------------------
 
@@ -719,7 +1042,11 @@ class SimulationEngine:
         # the pre-tick values).  Consumed at t+1 by the parent evaluator's
         # begin_tick (serial/threads) or, encoded as an epoch-stamped
         # ReplicaDelta, by the process workers' replica broadcast.
-        if self._capture_env_delta or self._capture_replica_delta:
+        if (
+            self._capture_env_delta
+            or self._capture_replica_delta
+            or self._capture_raw_delta
+        ):
             t0 = time.perf_counter()
             # "auto" discards any delta above its policy's budget, so let
             # the diff bail out early instead of completing a doomed one
@@ -732,6 +1059,15 @@ class SimulationEngine:
             delta = diff_by_key(env, self.env, max_changed=cutoff)
             if self._capture_env_delta:
                 self._pending_delta = delta
+            if self._capture_raw_delta:
+                # scoped worker broadcasts filter the raw capture down to
+                # each worker's shards at send time; an unusable diff
+                # (duplicate keys) forces snapshots, exactly as below
+                self._pending_raw_delta = (
+                    None
+                    if delta is None
+                    else (delta, env.rows, self.env.rows, self.tick_count + 1)
+                )
             if self._capture_replica_delta:
                 # an unusable diff (duplicate keys) leaves no pending
                 # delta: the next broadcast is a full snapshot

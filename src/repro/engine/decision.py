@@ -148,13 +148,9 @@ class DecisionRunner:
         row = by_key.get(target_key)
         if row is None:
             return
-        probe_ctx.bindings["e"] = row
-        if not all(eval_cond(c, probe_ctx) for c in shape.extra_where):
-            return
-        new_row = dict(row)
-        for attr, term in builtin.spec.effects.items():
-            new_row[attr] = eval_term(term, probe_ctx)
-        out_rows.append(new_row)
+        new_row = apply_key_target(builtin, shape, probe_ctx, row)
+        if new_row is not None:
+            out_rows.append(new_row)
 
     # -- deferred AoE (Section 5.4) --------------------------------------------------
 
@@ -185,6 +181,27 @@ class DecisionRunner:
                 eval_term(c.value_term, probe_ctx) for c in shape.neq_cats
             ),
         )
+
+
+def apply_key_target(
+    builtin, shape: ActionShape, probe_ctx, row
+) -> dict | None:
+    """Evaluate a key action against its resolved target row.
+
+    The one shared body behind every key-action site -- the local
+    runner, the scoped runner's owned-target fast path, and the
+    coordinator's forwarded-action service -- so the extra-where
+    short-circuit and effect-term evaluation can never drift between
+    the serial, scoped, and forwarded code paths.  Returns the effect
+    row, or ``None`` when the residual predicate rejects the target.
+    """
+    probe_ctx.bindings["e"] = row
+    if not all(eval_cond(c, probe_ctx) for c in shape.extra_where):
+        return None
+    new_row = dict(row)
+    for attr, term in builtin.spec.effects.items():
+        new_row[attr] = eval_term(term, probe_ctx)
+    return new_row
 
 
 def _eval_bounds(constraint, probe_ctx) -> tuple[float, float]:

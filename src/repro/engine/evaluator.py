@@ -784,19 +784,26 @@ class IndexedEvaluator:
             self._kd_index[fn.name] = index
         return index
 
-    def _eval_nearest(
+    def _nearest_candidate(
         self,
         fn: AggregateFunction,
         compiled: _CompiledShape,
         probe_ctx: EvalContext,
-    ) -> object:
+    ) -> tuple[tuple[float, float], object, tuple] | None:
+        """Best accepted point over the retained trees this evaluator holds.
+
+        The one shared candidate search behind the flat evaluator and
+        the scoped (probe-split) worker evaluator, so predicate handling
+        and the ``(dist², key)`` tie-break can never drift between them.
+        Returns ``(center, best_row, best)`` -- with ``best_row`` None
+        when no tree held an accepted point -- or ``None`` when the
+        range bounds are empty (nothing can match anywhere).
+        """
         shape = compiled.shape
         index = self._ensure_kd_index(fn, compiled)
         self._bump("probe_kdtree")
 
         groups = self._matching_groups(index, shape, probe_ctx)
-        if not groups:
-            return None
         cx, cy = shape.nearest_centers
         center = (
             float(eval_term(cx, probe_ctx)),
@@ -822,9 +829,21 @@ class IndexedEvaluator:
             candidate = (dist_sq, row[key_attr])
             if best_row is None or candidate < best:
                 best_row, best = row, candidate
+        return center, best_row, best
+
+    def _eval_nearest(
+        self,
+        fn: AggregateFunction,
+        compiled: _CompiledShape,
+        probe_ctx: EvalContext,
+    ) -> object:
+        found = self._nearest_candidate(fn, compiled, probe_ctx)
+        if found is None:
+            return None
+        _, best_row, best = found
         if best_row is None:
             return None
-        return Record(best_row) if shape.returns_row else best[0]
+        return Record(best_row) if compiled.shape.returns_row else best[0]
 
     def _row_predicate(self, shape, bounds, probe_ctx):
         """Residual + range predicate for kD-tree candidate filtering."""

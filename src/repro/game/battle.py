@@ -101,6 +101,18 @@ class BattleSimulation:
         worker cannot apply it; ``"snapshot"`` re-broadcasts all rows
         every tick.  Trajectories are bit-identical either way; only
         the bytes shipped per tick differ.
+    workers / worker_scope:
+        Where the decision workers run and how much of ``E`` they hold.
+        ``workers="local"`` (default) spawns pipe-connected processes on
+        this host; a list of ``"host:port"`` endpoints connects to
+        remote workers started with ``python -m repro.engine.shardexec
+        --listen``.  ``worker_scope="shards"`` enables the per-shard
+        probe split: each worker replicates and indexes only its own
+        shards, forwarding non-local probes to the coordinator.  All
+        combinations are bit-identical to the serial engine.
+        *worker_timeout* / *worker_max_frame* are the remote transport
+        knobs (per-message socket timeout; frame-size guard, which must
+        admit a full snapshot of the environment).
     spectators / spectator_broadcast:
         ``spectators=True`` opens a loopback
         :class:`~repro.serve.publisher.ReplicaPublisher`
@@ -131,6 +143,10 @@ class BattleSimulation:
         parallelism: str = "serial",
         max_workers: int | None = None,
         worker_broadcast: str = "delta",
+        workers: object = "local",
+        worker_scope: str = "full",
+        worker_timeout: float | None = 60.0,
+        worker_max_frame: int | None = None,
         spectators: bool = False,
         spectator_broadcast: str = "delta",
     ):
@@ -175,6 +191,10 @@ class BattleSimulation:
                 parallelism=parallelism,
                 max_workers=max_workers,
                 worker_broadcast=worker_broadcast,
+                workers=workers,
+                worker_scope=worker_scope,
+                worker_timeout=worker_timeout,
+                worker_max_frame=worker_max_frame,
                 worker_factory=battle_worker_game,
                 spectators=spectators,
                 spectator_broadcast=spectator_broadcast,
@@ -205,7 +225,13 @@ class BattleSimulation:
         return SpectatorReplica.spawn(address, battle_worker_game, **kwargs)
 
     def close(self) -> None:
-        """Shut down the engine's worker pool (no-op for serial runs)."""
+        """Shut down the spectator feed and the engine's worker pool.
+
+        Idempotent: calling it again (or mixing explicit calls with the
+        context-manager exit) is a no-op.  The engine closes its
+        spectator publisher *before* tearing down workers, so subscribed
+        replicas see a clean EOF rather than a reset mid-teardown.
+        """
         self.engine.close()
 
     def __enter__(self) -> "BattleSimulation":

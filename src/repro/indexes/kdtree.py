@@ -11,6 +11,18 @@ when only non-spatial attributes changed.  Heavy churn degrades balance
 and leaves dead weight, so the evaluator's maintenance policy rebuilds
 once the mutation count outgrows its budget.
 
+The tree additionally bounds its own depth: each insert tracks the
+attach depth, and once a leaf would land deeper than ``4 * log2(n)``
+the tree forces the full-rebuild fallback on itself -- the live points
+(tombstones dropped) are re-bulk-built by median splitting.  Without
+this, *adversarial* insert orders (sorted coordinates, the classic
+sequential-churn pattern) chain leaves into an O(n)-deep path that the
+mutation-count budget alone does not catch when the tree is mostly
+inserts: every k-NN probe would then degrade to a linear walk.  A
+rebuild relocates nodes but cannot change any answer -- the candidate
+set is identical and ties break on the caller's ``tie_key``, never on
+tree shape.
+
 Queries:
 
 * :meth:`nearest` -- the stored item minimising squared Euclidean
@@ -23,7 +35,17 @@ Queries:
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable, Sequence
+
+#: Leaf-attach depth budget, as a multiple of ``log2(live size)``.  A
+#: balanced tree is ~1x; random insert orders hover near 2x; only
+#: adversarial (sorted) insert sequences push past 4x.
+_DEPTH_FACTOR = 4.0
+
+#: Below this size a rebuild is never forced -- tiny trees are cheap to
+#: search however degenerate, and log2-based budgets misbehave near 1.
+_DEPTH_MIN_SIZE = 8
 
 
 class _Node:
@@ -53,6 +75,8 @@ class KDTree:
             raise ValueError("points and items must have equal length")
         self.dims = dims
         self._size = len(points)
+        #: Forced full rebuilds triggered by the insert depth bound.
+        self.depth_rebuilds = 0
         entries = [(tuple(p), item) for p, item in zip(points, items)]
         self._root = self._build(entries, depth=0)
 
@@ -76,9 +100,11 @@ class KDTree:
     def insert(self, point: Sequence[float], item: object) -> None:
         """Attach ``(point, item)`` as a new leaf (standard dynamic insert).
 
-        No rebalancing: repeated inserts can skew the tree, which hurts
-        search time but never correctness; the maintenance policy
-        rebuilds once mutations outgrow the structure.
+        No incremental rebalancing -- but the attach depth is tracked,
+        and a leaf that would land beyond ``4 * log2(live size)`` forces
+        a full rebuild instead, so adversarial insert orders (sorted
+        coordinates) cannot chain the tree into an O(n)-deep path that
+        degrades every k-NN probe to a linear walk.
         """
         point = tuple(point)
         self._size += 1
@@ -92,13 +118,40 @@ class KDTree:
             if point[node.axis] - node.point[node.axis] <= 0:
                 if node.left is None:
                     node.left = _Node(point, item, depth % self.dims)
-                    return
+                    break
                 node = node.left
             else:
                 if node.right is None:
                     node.right = _Node(point, item, depth % self.dims)
-                    return
+                    break
                 node = node.right
+        if self._size >= _DEPTH_MIN_SIZE and depth > _DEPTH_FACTOR * math.log2(
+            self._size
+        ):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Bulk-rebuild from the live entries (tombstones dropped).
+
+        The standard full-rebuild fallback the maintenance policies
+        already rely on, applied by the tree to itself when the depth
+        bound trips.  Every query answer is preserved: the live
+        ``(point, item)`` set is unchanged, and no query result depends
+        on node placement.
+        """
+        entries: list = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if not node.deleted:
+                entries.append((node.point, node.item))
+            stack.append(node.left)
+            stack.append(node.right)
+        self._size = len(entries)
+        self._root = self._build(entries, depth=0)
+        self.depth_rebuilds += 1
 
     def delete(
         self, point: Sequence[float], match: Callable[[object], bool]

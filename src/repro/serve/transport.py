@@ -28,9 +28,12 @@ medium-blind):
 * ``OSError`` (``BrokenPipeError``, ``ConnectionResetError``,
   ``TimeoutError``, ...) -- the medium failed;
 * :class:`FrameError` -- the peer violated the framing contract
-  (version mismatch, oversized or malformed frame).  ``FrameError``
-  subclasses ``OSError`` so generic fault paths that respawn/drop on
-  transport failure handle protocol violations the same way.
+  (version mismatch, oversized or malformed frame), or the stream lost
+  frame alignment (a timeout fired after part of a frame was consumed;
+  the transport marks itself dead, because the next read would parse
+  leftover payload bytes as a header).  ``FrameError`` subclasses
+  ``OSError`` so generic fault paths that respawn/drop on transport
+  failure handle protocol violations the same way.
 
 Messages are pickles, exactly like multiprocessing pipes -- which means
 the transport is for loopback and trusted networks only.  The framing
@@ -45,7 +48,10 @@ import socket
 import struct
 
 #: Bump when the frame layout or blob vocabulary changes incompatibly.
-PROTOCOL_VERSION = 1
+#: 2: ReplicaDelta gained the positional wire encoding + the
+#: ``insert_at`` order patch; scoped-snapshot blobs joined the
+#: vocabulary (distributed decision workers).
+PROTOCOL_VERSION = 2
 
 #: Default ceiling on one frame's payload.  Sized for full snapshots of
 #: very large environments (a 1M-unit battle snapshot pickles to well
@@ -157,11 +163,21 @@ class SocketTransport(Transport):
     ):
         self._sock = sock
         self.max_frame = max_frame
+        #: Set once the byte stream can no longer be trusted to sit on a
+        #: frame boundary (timeout mid-frame, version mismatch, refused
+        #: length): the remaining bytes of the broken frame would be
+        #: parsed as a header, so every further send/recv must refuse.
+        self._desynced = False
         sock.settimeout(timeout)
         if sock.family in (socket.AF_INET, getattr(socket, "AF_INET6", -1)):
             # frames are latency-sensitive (request/response queries);
             # never let Nagle hold a half-frame back
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # a silently partitioned peer sends no RST; keepalive makes
+            # the OS probe an idle connection and reset it, so blocked
+            # readers (the worker-pool gather loop) eventually observe
+            # the death instead of waiting forever
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
 
     @classmethod
     def connect(
@@ -182,22 +198,56 @@ class SocketTransport(Transport):
     # -- sending ------------------------------------------------------------------
 
     def send_bytes(self, blob: bytes) -> int:
+        if self._desynced:
+            raise FrameError(
+                "transport is desynchronized (earlier timeout or framing "
+                "violation mid-frame); reconnect instead of reusing it"
+            )
         if len(blob) > self.max_frame:
             raise FrameError(
                 f"refusing to send a {len(blob)}-byte frame "
                 f"(max_frame={self.max_frame})"
             )
-        self._sock.sendall(_HEADER.pack(PROTOCOL_VERSION, len(blob)))
-        self._sock.sendall(blob)
+        try:
+            self._sock.sendall(_HEADER.pack(PROTOCOL_VERSION, len(blob)))
+            self._sock.sendall(blob)
+        except OSError:
+            # sendall may have written part of the frame before failing
+            # (Python documents partial transmission on error); the
+            # outgoing stream is mid-frame, so a retry would hand the
+            # peer a header spliced into payload bytes.  Refuse reuse.
+            self._desynced = True
+            raise
         return _HEADER.size + len(blob)
 
     # -- receiving ----------------------------------------------------------------
 
-    def _read_exact(self, n: int) -> bytes:
+    def _read_exact(self, n: int, *, mid_frame: bool) -> bytes:
+        """Read exactly *n* bytes, or fail without lying about position.
+
+        A timeout between frames (*mid_frame* false, nothing read yet)
+        leaves the stream on a boundary and surfaces as the plain
+        ``TimeoutError`` callers already treat as a transport fault; the
+        transport stays usable.  A timeout after *any* byte of a frame
+        was consumed leaves the stream pointing into the middle of that
+        frame -- a later ``recv`` would parse payload bytes as a header
+        -- so the transport is marked dead and the failure is promoted
+        to :class:`FrameError`.
+        """
         chunks: list[bytes] = []
         remaining = n
         while remaining:
-            chunk = self._sock.recv(min(remaining, 1 << 20))
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except TimeoutError:
+                if not mid_frame and remaining == n:
+                    raise  # clean inter-frame stall; stream still synced
+                self._desynced = True
+                raise FrameError(
+                    f"timed out mid-frame ({n - remaining} of {n} bytes "
+                    "read); the stream is desynchronized and the "
+                    "transport is now dead"
+                ) from None
             if not chunk:
                 if remaining == n and not chunks:
                     raise EOFError("peer closed the connection")
@@ -207,19 +257,30 @@ class SocketTransport(Transport):
         return b"".join(chunks)
 
     def recv(self) -> object:
-        header = self._read_exact(_HEADER.size)
+        if self._desynced:
+            raise FrameError(
+                "transport is desynchronized (earlier timeout or framing "
+                "violation mid-frame); reconnect instead of reusing it"
+            )
+        header = self._read_exact(_HEADER.size, mid_frame=False)
         version, length = _HEADER.unpack(header)
         if version != PROTOCOL_VERSION:
+            # the declared payload was never read: the stream no longer
+            # sits on a frame boundary
+            self._desynced = True
             raise FrameError(
                 f"protocol version mismatch: peer sent {version}, "
                 f"this side speaks {PROTOCOL_VERSION}"
             )
         if length > self.max_frame:
+            self._desynced = True
             raise FrameError(
                 f"peer declared a {length}-byte frame "
                 f"(max_frame={self.max_frame}); refusing to read it"
             )
-        payload = self._read_exact(length)
+        payload = self._read_exact(length, mid_frame=True)
+        # the frame was fully consumed: a bad payload is an error for
+        # *this* message only, the stream itself is still on a boundary
         try:
             return pickle.loads(payload)
         except Exception as exc:

@@ -136,6 +136,12 @@ class Record:
     def __setattr__(self, name: str, value: object) -> None:
         raise SglTypeError("records are immutable")
 
+    def __reduce__(self):
+        # default slots-pickling restores state via __setattr__, which
+        # immutability forbids; rebuild through __init__ instead (records
+        # cross process boundaries in forwarded worker probe answers)
+        return (Record, (self._fields,))
+
     def get(self, name: str) -> object:
         try:
             return self._fields[name]

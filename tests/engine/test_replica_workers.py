@@ -146,6 +146,47 @@ class TestReplicaDeltaWireFormat:
         assert [replica[k] for k in order] == new.rows
         assert "aura_src" not in replica[extended.rows[1]["key"]]
 
+    def test_mid_order_insert_ships_splice_positions(self, schema):
+        """An insert that lands mid-order (the scoped-delta shape: a
+        unit crossing into a worker's scope splices at its flat
+        position) ships compact ``(key, index)`` pairs -- never the
+        whole key order -- and replays exactly."""
+        import pickle
+
+        env = make_env(schema, n=10, grid=30, seed=7)
+
+        def mutate(rows):
+            inserted = dict(rows[0])
+            inserted["key"] = 555
+            inserted["posx"] = 3
+            rows.insert(4, inserted)
+
+        new = evolved(env, mutate)
+        rd = pickle.loads(pickle.dumps(encode(env, new)))
+        assert rd.order is None  # the full order stays off the wire
+        assert rd.insert_at == [(555, 4)]
+        replica = {r["key"]: r for r in env.rows}
+        order, _ = apply_replica_delta(
+            rd,
+            replica,
+            [r["key"] for r in env.rows],
+            key_attr="key",
+            replica_epoch=0,
+        )
+        assert [replica[k] for k in order] == new.rows
+
+    def test_positional_pickle_keeps_quiet_deltas_small(self, schema):
+        """The wire envelope must not dwarf quiet-tick content: field
+        names stay out of the pickle (positional __reduce__)."""
+        import pickle
+
+        env = make_env(schema, n=8, grid=30, seed=8)
+        new = evolved(env, lambda rows: rows[0].update(posx=1))
+        blob = pickle.dumps(encode(env, new))
+        assert b"deleted_keys" not in blob
+        assert b"cross_shard_moves" not in blob
+        assert pickle.loads(blob) == encode(env, new)
+
     def test_stale_epoch_is_refused(self, schema):
         env = make_env(schema, n=6, grid=30, seed=4)
         new = evolved(env, lambda rows: rows[0].update(posx=1))

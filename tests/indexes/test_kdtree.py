@@ -87,3 +87,60 @@ class TestRowHelper:
 
     def test_len(self):
         assert len(KDTree([(0, 0), (1, 1)])) == 2
+
+
+def tree_depth(tree):
+    depth = 0
+    stack = [(tree._root, 1)]
+    while stack:
+        node, d = stack.pop()
+        if node is None:
+            continue
+        depth = max(depth, d)
+        stack.append((node.left, d + 1))
+        stack.append((node.right, d + 1))
+    return depth
+
+
+class TestDepthBound:
+    def test_sequential_inserts_stay_logarithmic(self):
+        """Adversarial sorted-coordinate churn: without the attach-depth
+        bound, each insert lands below the previous leaf and the tree
+        becomes an O(n) chain; with it, depth stays within the budget."""
+        import math
+
+        tree = KDTree([(0, 0)])
+        n = 512
+        for i in range(1, n):
+            tree.insert((i, i), i)
+        assert tree.depth_rebuilds > 0
+        assert tree_depth(tree) <= 4 * math.log2(len(tree)) + 1
+
+    def test_rebuild_preserves_answers_and_drops_tombstones(self):
+        pts = [(i, 0) for i in range(16)]
+        tree = KDTree(pts, list(range(16)))
+        for i in range(6):
+            assert tree.delete((i, 0), lambda item, i=i: item == i)
+        # sorted inserts force the depth rebuild eventually
+        for j in range(16, 200):
+            tree.insert((j, j), j)
+        assert tree.depth_rebuilds > 0
+        assert len(tree) == 10 + 184
+        # tombstoned points must never come back
+        assert tree.nearest((0, 0), tie_key=lambda i: i) == (6, 36)
+        # and live answers match brute force
+        live = [(q, i) for i, q in enumerate(pts) if i >= 6]
+        live += [((j, j), j) for j in range(16, 200)]
+        for p in [(3, 3), (50, 40), (199, 0)]:
+            found = tree.nearest(p, tie_key=lambda i: i)
+            best = min((dist_sq(q, p), i) for q, i in live)
+            assert found == (best[1], best[0])
+
+    def test_random_inserts_do_not_trip_the_bound(self):
+        import random
+
+        rng = random.Random(7)
+        tree = KDTree([(rng.random(), rng.random()) for _ in range(8)])
+        for i in range(400):
+            tree.insert((rng.random(), rng.random()), i)
+        assert tree.depth_rebuilds == 0

@@ -121,6 +121,67 @@ class TestSocketTransport:
         with pytest.raises(EOFError, match="mid-frame"):
             right.recv()
 
+    def test_slow_writer_mid_frame_timeout_kills_transport(self):
+        """A timeout that fires after part of a frame was consumed must
+        not leave the stream desynchronized: the next recv would parse
+        leftover payload bytes as a header.  The transport raises
+        FrameError and refuses further use."""
+        a, b = socket.socketpair()
+        try:
+            right = SocketTransport(b, timeout=0.2)
+            # slow writer: full header claiming 100 bytes, then stalls
+            # after 4 payload bytes
+            a.sendall(struct.pack(">BI", PROTOCOL_VERSION, 100) + b"only")
+            with pytest.raises(FrameError, match="mid-frame"):
+                right.recv()
+            # the writer wakes up and sends the rest -- but the reader
+            # already lost its place, so the transport must refuse to
+            # parse those bytes as a fresh frame instead of returning
+            # garbage (or blocking on a payload that is really a header)
+            a.sendall(b"x" * 96)
+            with pytest.raises(FrameError, match="desynchronized"):
+                right.recv()
+            with pytest.raises(FrameError, match="desynchronized"):
+                right.send(("tick", 1))
+        finally:
+            a.close()
+            b.close()
+
+    def test_idle_timeout_between_frames_keeps_transport_alive(self):
+        """A timeout with no bytes read leaves the stream on a frame
+        boundary: plain TimeoutError, and the transport still works."""
+        a, b = socket.socketpair()
+        try:
+            left = SocketTransport(a, timeout=5.0)
+            right = SocketTransport(b, timeout=0.2)
+            with pytest.raises(TimeoutError):
+                right.recv()
+            left.send("late")
+            assert right.recv() == "late"
+        finally:
+            a.close()
+            b.close()
+
+    def test_version_mismatch_desynchronizes(self, pair):
+        """The mismatched frame's payload is never read, so the stream
+        is mid-frame: the transport must go dead, not resync by luck."""
+        left, right = pair
+        left._sock.sendall(struct.pack(">BI", PROTOCOL_VERSION + 1, 3) + b"abc")
+        with pytest.raises(FrameError, match="version mismatch"):
+            right.recv()
+        with pytest.raises(FrameError, match="desynchronized"):
+            right.recv()
+
+    def test_undecodable_payload_keeps_stream_synced(self, pair):
+        """A garbage payload is fully consumed -- the *message* is bad,
+        the stream position is fine, and later frames still arrive."""
+        left, right = pair
+        left._sock.sendall(struct.pack(">BI", PROTOCOL_VERSION, 4) + b"????")
+        with pytest.raises(FrameError, match="undecodable"):
+            right.recv()
+        left.send("next")
+        assert right.recv() == "next"
+
     def test_frame_error_is_os_error(self):
         """Generic transport fault paths (respawn/drop on OSError) must
         catch protocol violations without naming FrameError."""
