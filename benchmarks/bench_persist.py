@@ -1,0 +1,278 @@
+"""Durable epoch log: write cost, replay speed, recovery equivalence.
+
+Three sections:
+
+1. **Logging overhead + bytes/tick** -- the same battle with the epoch
+   log off, on (background writer, ``fsync="checkpoint"``), and on with
+   ``fsync="always"``; reports seconds/tick and log bytes/tick at each
+   checkpoint cadence.  While the logged run ticks, a shallow copy of
+   every epoch's rows is retained, and afterwards the **whole log is
+   replayed and asserted bit-identical** (rows *and* row order) at
+   every epoch before a single number is reported.
+2. **Replay throughput** -- :meth:`~repro.persist.log.EpochLogReader
+   .replay_states` sweeps the full history (sequential recovery speed,
+   ticks/sec) and :meth:`~repro.persist.log.EpochLogReader.replay`
+   reconstructs individual epochs cold (time-travel random access);
+   both against the checkpoint-cadence curve, because cadence buys
+   random-access speed with log bytes.
+3. **Crash recovery equivalence** -- run, save, keep running, then
+   recover from both the save file and the log; each recovered run is
+   finished and **asserted bit-identical** to the uninterrupted
+   reference (the ``matches_baseline`` marker the trajectory gate
+   checks), with the recovery wall time reported.
+
+    PYTHONPATH=src:. python benchmarks/bench_persist.py [--smoke] [--json PATH]
+
+``--smoke`` shrinks the workload for CI; results land in
+``BENCH_persist_smoke.json`` so they never clobber full-run data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+
+from benchmarks.util import fmt_table, write_bench_json
+from repro.game.battle import BattleSimulation
+from repro.persist import EpochLogReader
+
+BASE = dict(density=0.02, seed=31)
+
+
+# -- section 1+2: logging overhead, replay throughput, per-epoch equivalence ---
+
+
+def logged_run_section(
+    n_units: int, ticks: int, cadences: tuple[int, ...], workdir: str
+) -> tuple[list[dict], list[dict]]:
+    """One unlogged baseline + one logged run per checkpoint cadence."""
+    t0 = time.perf_counter()
+    with BattleSimulation(n_units, **BASE) as sim:
+        sim.run(ticks)
+        baseline_signature = sim.state_signature()
+    baseline_s = (time.perf_counter() - t0) / ticks
+    write_rows = [
+        {
+            "config": "no log",
+            "checkpoint_every": None,
+            "s_per_tick": baseline_s,
+            "log_bytes_per_tick": 0,
+            "equivalence_ok": True,
+        }
+    ]
+    replay_rows = []
+
+    for cadence in cadences:
+        path = os.path.join(workdir, f"cadence_{cadence}.log")
+        history = []  # rows never mutate after a tick: copies are free
+        t0 = time.perf_counter()
+        with BattleSimulation(
+            n_units,
+            **BASE,
+            epoch_log=path,
+            epoch_log_checkpoint_every=cadence,
+        ) as sim:
+            for _ in range(ticks):
+                sim.tick()
+                history.append(
+                    (sim.engine.tick_count + 1, list(sim.engine.env.rows))
+                )
+            assert sim.state_signature() == baseline_signature, (
+                "logging changed the trajectory"
+            )
+            log_stats = sim.engine.epoch_log.stats
+        elapsed_s = (time.perf_counter() - t0) / ticks
+        log_size = os.path.getsize(path)
+
+        # replay the whole history; every epoch must be bit-identical
+        t0 = time.perf_counter()
+        with EpochLogReader(path) as reader:
+            replayed = {e: list(r) for e, r in reader.replay_states()}
+        sweep_s = time.perf_counter() - t0
+        for epoch, rows in history:
+            assert replayed[epoch] == rows, (
+                f"replay diverged at epoch {epoch} (cadence {cadence})"
+            )
+
+        # cold random access: reconstruct single epochs, fresh reader
+        # each time so the scan cost is honest
+        targets = [e for e, _ in history[:: max(1, ticks // 4)]]
+        t0 = time.perf_counter()
+        for target in targets:
+            with EpochLogReader(path) as reader:
+                result = reader.replay(upto=target)
+            assert result.epoch == target
+        random_access_s = (time.perf_counter() - t0) / len(targets)
+
+        config = f"checkpoint_every={cadence}"
+        write_rows.append(
+            {
+                "config": config,
+                "checkpoint_every": cadence,
+                "s_per_tick": elapsed_s,
+                "overhead_vs_no_log": elapsed_s / baseline_s,
+                "log_bytes_per_tick": log_size / ticks,
+                "log_bytes_total": log_size,
+                "snapshot_records": log_stats.snapshot_records,
+                "delta_records": log_stats.delta_records,
+                "equivalence_ok": True,  # every per-epoch assert passed
+            }
+        )
+        replay_rows.append(
+            {
+                "config": config,
+                "checkpoint_every": cadence,
+                "epochs": len(replayed),
+                "s_per_replay_tick": sweep_s / len(replayed),
+                "replay_ticks_per_s": len(replayed) / sweep_s,
+                "s_per_random_access": random_access_s,
+                "equivalence_ok": True,
+            }
+        )
+    return write_rows, replay_rows
+
+
+# -- section 3: recovery equivalence -------------------------------------------
+
+
+def recovery_section(n_units: int, ticks: int, workdir: str) -> list[dict]:
+    split = max(2, ticks // 2)
+    with BattleSimulation(n_units, **BASE) as sim:
+        sim.run(ticks)
+        reference = sim.state_signature()
+
+    log = os.path.join(workdir, "recovery.log")
+    save = os.path.join(workdir, "recovery.save")
+    with BattleSimulation(
+        n_units, **BASE, epoch_log=log, epoch_log_checkpoint_every=8
+    ) as sim:
+        sim.run(split)
+        sim.save(save)
+
+    out = []
+    t0 = time.perf_counter()
+    with BattleSimulation.load(save) as resumed:
+        load_s = time.perf_counter() - t0
+        resumed.run(ticks - split)
+        assert resumed.state_signature() == reference, (
+            "save/resume diverged from the uninterrupted run"
+        )
+    out.append(
+        {
+            "config": "resume from save file",
+            "recovery_s": load_s,
+            "matches_baseline": True,
+        }
+    )
+
+    t0 = time.perf_counter()
+    with BattleSimulation.recover(log, resume_log=False) as recovered:
+        recover_s = time.perf_counter() - t0
+        recovered.run(ticks - recovered.summary.ticks)
+        assert recovered.state_signature() == reference, (
+            "log recovery diverged from the uninterrupted run"
+        )
+    out.append(
+        {
+            "config": "recover from epoch log",
+            "recovery_s": recover_s,
+            "matches_baseline": True,
+        }
+    )
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI workload; all bit-exactness asserts still run",
+    )
+    parser.add_argument(
+        "--json", default=None,
+        help="path of the machine-readable result (default: "
+        "BENCH_persist.json, or BENCH_persist_smoke.json under --smoke)",
+    )
+    args = parser.parse_args(argv)
+    if args.json is None:
+        args.json = (
+            "BENCH_persist_smoke.json" if args.smoke else "BENCH_persist.json"
+        )
+
+    if args.smoke:
+        n_units, ticks = 150, 6
+        cadences: tuple[int, ...] = (2, 8)
+    else:
+        n_units, ticks = 2000, 24
+        cadences = (4, 16, 64)
+
+    with tempfile.TemporaryDirectory(prefix="bench_persist_") as workdir:
+        print(
+            f"\n=== epoch log write cost: {n_units} units, {ticks} ticks, "
+            f"{os.cpu_count()} cpu(s) ==="
+        )
+        write_rows, replay_rows = logged_run_section(
+            n_units, ticks, cadences, workdir
+        )
+        print(fmt_table(
+            ["config", "s/tick", "overhead", "log KiB/tick", "snap", "delta"],
+            [
+                [
+                    r["config"],
+                    r["s_per_tick"],
+                    f"{r.get('overhead_vs_no_log', 1.0):.2f}x",
+                    r["log_bytes_per_tick"] / 1024,
+                    r.get("snapshot_records", 0),
+                    r.get("delta_records", 0),
+                ]
+                for r in write_rows
+            ],
+        ))
+        print(
+            "every logged epoch replayed bit-identically (rows and row "
+            "order) before reporting"
+        )
+
+        print(f"\n=== replay throughput vs checkpoint cadence ===")
+        print(fmt_table(
+            ["config", "epochs", "replay ticks/s", "s/random access"],
+            [
+                [
+                    r["config"],
+                    r["epochs"],
+                    f"{r['replay_ticks_per_s']:.0f}",
+                    r["s_per_random_access"],
+                ]
+                for r in replay_rows
+            ],
+        ))
+
+        print(f"\n=== crash recovery equivalence: {n_units} units ===")
+        recovery = recovery_section(n_units, ticks, workdir)
+        print(fmt_table(
+            ["config", "recovery s", "bit-identical"],
+            [
+                [r["config"], r["recovery_s"], r["matches_baseline"]]
+                for r in recovery
+            ],
+        ))
+
+    write_bench_json(
+        args.json,
+        "persist",
+        {
+            "n_units": n_units,
+            "ticks": ticks,
+            "smoke": args.smoke,
+            "equivalence_ok": True,  # every assert above passed
+            "write_cost": write_rows,
+            "replay": replay_rows,
+            "recovery": recovery,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,10 @@ Files are matched by name, so smoke artifacts (``BENCH_*_smoke.json``)
 only ever compare against smoke artifacts and full runs against full
 runs; a pair whose machine context (``cpu_count``) differs is compared
 with a note, since ratios survive hardware changes better than
-absolutes.
+absolutes.  An artifact (current or previous) whose bench script no
+longer exists in the tree (no ``benchmarks/bench_<stem>.py``) is an
+**orphan**: warned about and skipped, never failed on -- removing a
+bench must not wedge the gate against its stale artifacts.
 
     python benchmarks/trajectory.py --current DIR [--previous DIR]
         [--slowdown-threshold 1.25]
@@ -50,9 +53,12 @@ TIMING_SERIES = (
     ("incremental_s", ("changed_fraction",)),
     ("s_per_query", ("config",)),
     ("s_per_tick_remote", ("config",)),
-    # not a timing, but the same ratio-watch applies: a quiet growth in
-    # per-tick broadcast bytes is a wire-protocol regression
+    ("s_per_replay_tick", ("config",)),
+    ("s_per_random_access", ("config",)),
+    # not timings, but the same ratio-watch applies: a quiet growth in
+    # per-tick broadcast or log bytes is a wire/disk-format regression
     ("broadcast_bytes", ("config",)),
+    ("log_bytes_per_tick", ("config",)),
 )
 
 
@@ -65,6 +71,12 @@ def _bench_stem(path: str) -> str:
     if stem.endswith("_smoke"):
         stem = stem[: -len("_smoke")]
     return stem
+
+
+def _has_bench_script(stem: str) -> bool:
+    """True when ``benchmarks/bench_<stem>.py`` exists in this tree."""
+    root = os.path.dirname(os.path.abspath(__file__))
+    return os.path.exists(os.path.join(root, f"bench_{stem}.py"))
 
 
 def _warn(message: str) -> None:
@@ -199,6 +211,16 @@ def main(argv=None) -> int:
             )
         }
         for missing in sorted(previous_stems - current_stems):
+            if not _has_bench_script(missing):
+                # the bench itself was removed from the tree: its stale
+                # artifact is an orphan, not a crashed bench -- failing
+                # here would wedge the gate forever after any removal
+                _warn(
+                    f"bench {missing!r}: previous artifact has no "
+                    f"benchmarks/bench_{missing}.py in this tree "
+                    "(orphaned); skipping"
+                )
+                continue
             failures += _error(
                 f"bench {missing!r}: present in the previous run but not "
                 "written by this one"
@@ -206,6 +228,13 @@ def main(argv=None) -> int:
 
     for path in current_files:
         name = os.path.basename(path)
+        stem = _bench_stem(path)
+        if not _has_bench_script(stem):
+            _warn(
+                f"{name}: no benchmarks/bench_{stem}.py in this tree "
+                "(orphaned artifact); skipping"
+            )
+            continue
         with open(path, encoding="utf-8") as fh:
             current = json.load(fh)
         breaks = find_equivalence_breaks(current)

@@ -117,6 +117,9 @@ class GameDefinition:
         worker_max_frame: int | None = None,
         spectators: bool = False,
         spectator_broadcast: str = "delta",
+        epoch_log: str | None = None,
+        epoch_log_checkpoint_every: int = 64,
+        epoch_log_fsync: str = "checkpoint",
     ) -> SimulationEngine:
         """Build a :class:`SimulationEngine` for this game definition.
 
@@ -160,6 +163,16 @@ class GameDefinition:
         read-only SGL/aggregate/k-NN queries pinned to a consistent
         epoch, bit-identical to querying this engine directly.
 
+        *epoch_log* names a file the engine appends every post-tick
+        state to (:mod:`repro.persist`): the captured delta when it
+        chains, a full-snapshot checkpoint every
+        *epoch_log_checkpoint_every* epochs, with *epoch_log_fsync*
+        picking durability (``"never"`` | ``"checkpoint"`` |
+        ``"always"``).  Any retained epoch can then be replayed
+        bit-exactly (:class:`~repro.persist.log.EpochLogReader`), and a
+        crashed coordinator recovers by replay +
+        :meth:`~repro.engine.clock.SimulationEngine.restore_state`.
+
         All strategies, shard counts, and parallelism modes are
         bit-identical in trajectory when aggregate measure and effect
         sums are floating-point exact (e.g. integer-valued measures);
@@ -199,12 +212,15 @@ class GameDefinition:
                 worker_max_frame=worker_max_frame,
                 spectators=spectators,
                 spectator_broadcast=spectator_broadcast,
+                epoch_log=epoch_log,
+                epoch_log_checkpoint_every=epoch_log_checkpoint_every,
+                epoch_log_fsync=epoch_log_fsync,
             ),
         )
 
 
 def run_battle(
-    n_units: int,
+    n_units: int | None,
     ticks: int,
     *,
     mode: str = "indexed",
@@ -222,6 +238,8 @@ def run_battle(
     worker_broadcast: str = "delta",
     workers: object = "local",
     worker_scope: str = "full",
+    epoch_log: str | None = None,
+    resume_from: str | None = None,
 ) -> BattleSummary:
     """One-call battle run; returns the summary with per-tick stats.
 
@@ -237,7 +255,20 @@ def run_battle(
     ``"processes"``).  The battle's measures are integer-valued, so
     trajectories are bit-identical across every combination of these
     knobs; only wall-clock differs.
+
+    *epoch_log* appends every post-tick state to a durable log file
+    (:mod:`repro.persist`).  *resume_from* resumes a
+    :meth:`~repro.game.battle.BattleSimulation.save` file instead of
+    starting fresh: the saved configuration wins (*n_units* may be
+    ``None``), the battle runs *ticks* further ticks, and the combined
+    trajectory is bit-identical to an uninterrupted run.
     """
+    if resume_from is not None:
+        extra = {"epoch_log": epoch_log} if epoch_log else {}
+        with BattleSimulation.load(resume_from, **extra) as sim:
+            return sim.run(ticks)
+    if n_units is None:
+        raise ValueError("n_units is required unless resume_from is given")
     with BattleSimulation(
         n_units,
         density=density,
@@ -255,5 +286,6 @@ def run_battle(
         worker_broadcast=worker_broadcast,
         workers=workers,
         worker_scope=worker_scope,
+        epoch_log=epoch_log,
     ) as sim:
         return sim.run(ticks)

@@ -117,6 +117,10 @@ class TickStats:
     #: Bytes streamed to spectator subscribers by the publish stage;
     #: 0 when no publisher is attached (or nobody is subscribed).
     publish_bytes: int = 0
+    #: Bytes appended to the durable epoch log this tick (encoded in
+    #: the tick loop, written by the log's background thread); 0 when
+    #: no log is attached.
+    log_bytes: int = 0
 
 
 @dataclass
@@ -204,6 +208,22 @@ class EngineConfig:
       trajectory; the publish stage never blocks on (and is never
       wedged by) a slow or dead subscriber.
 
+    Durable epoch log (the ``repro.persist`` layer):
+
+    * ``epoch_log`` -- a file path: the engine appends every post-tick
+      state to a :class:`~repro.persist.log.EpochLogWriter` as the
+      publish stage runs (the captured delta when it chains, a
+      full-snapshot checkpoint otherwise), enabling mid-battle
+      save/resume, crash recovery by replay, and deterministic
+      historical replay.  Disk writes run on a background thread, so
+      the tick loop never blocks on the log;
+    * ``epoch_log_checkpoint_every`` -- full-snapshot checkpoint
+      cadence in epochs (bounds recovery replay work and log seek
+      distance);
+    * ``epoch_log_fsync`` -- durability policy: ``"never"`` (close
+      only), ``"checkpoint"`` (default), or ``"always"`` (every
+      record -- what a crash drill wants).
+
     All maintenance modes, shard counts, and parallelism modes produce
     bit-identical trajectories whenever effect/measure sums are exact in
     floating point -- true for integer-valued measures like the battle
@@ -239,6 +259,10 @@ class EngineConfig:
     spectator_host: str = "127.0.0.1"
     spectator_port: int = 0
     spectator_broadcast: str = "delta"  # "delta" | "snapshot"
+    #: Path of the durable epoch log, or None (no logging).
+    epoch_log: str | None = None
+    epoch_log_checkpoint_every: int = 64
+    epoch_log_fsync: str = "checkpoint"  # "never" | "checkpoint" | "always"
 
 
 class SimulationEngine:
@@ -369,6 +393,8 @@ class SimulationEngine:
         self._pending_raw_delta = None
         self._last_broadcast_bytes = 0
         self.publisher = None  # ReplicaPublisher | None
+        self.epoch_log = None  # EpochLogWriter | None
+        self._epoch_log_state_fn = None
         # forwarded-probe service for scoped workers: armed lazily, once
         # per tick, on the first request
         self._remote_eval_tick = -1
@@ -378,6 +404,8 @@ class SimulationEngine:
             self.serve_spectators(
                 host=cfg.spectator_host, port=cfg.spectator_port
             )
+        if cfg.epoch_log:
+            self.attach_epoch_log(cfg.epoch_log)
 
         # Cache keyed by id(script), holding the script itself: the
         # strong reference pins the id for the cache's lifetime, so a
@@ -446,7 +474,7 @@ class SimulationEngine:
         return getattr(self._pool, "stats", None)
 
     def close(self) -> None:
-        """Shut down the spectator publisher, then the worker pool.
+        """Shut down the publisher, the epoch log, then the worker pool.
 
         Publisher first: closing the feed while worker processes are
         still alive gives every subscribed spectator a clean EOF on a
@@ -459,6 +487,10 @@ class SimulationEngine:
         if self.publisher is not None:
             self.publisher.close()
             self.publisher = None
+            self._refresh_capture_flags()
+        if self.epoch_log is not None:
+            self.epoch_log.close()
+            self.epoch_log = None
             self._refresh_capture_flags()
         if self._pool is not None:
             if hasattr(self._pool, "shutdown"):
@@ -527,6 +559,105 @@ class SimulationEngine:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- durable epoch log --------------------------------------------------------
+
+    def attach_epoch_log(
+        self,
+        path: str,
+        *,
+        resume: bool = False,
+        state_fn: Callable[[], dict] | None = None,
+        meta: dict | None = None,
+        checkpoint_every: int | None = None,
+        fsync: str | None = None,
+    ):
+        """Start logging every post-tick state to *path*; returns the writer.
+
+        Called automatically when ``config.epoch_log`` is set; games
+        that carry state of their own (``BattleSimulation``) call it
+        directly to supply *state_fn* (a callable returning a small
+        picklable dict, logged alongside every epoch so recovery
+        restores game counters exactly) and *meta* (recorded once, so a
+        log is self-contained for :meth:`restore_state`-based
+        recovery).
+
+        With *resume* the writer appends to an existing log -- the
+        crash-recovery path, after :func:`~repro.persist.log
+        .truncate_torn_tail` -- instead of starting a fresh file.
+        Either way the current state is immediately appended as a full
+        checkpoint, so the log always chains from a durable base.
+        """
+        from ..persist.log import EpochLogWriter
+
+        if self.epoch_log is not None:
+            raise RuntimeError("engine already has an epoch log attached")
+        cfg = self.config
+        self.epoch_log = EpochLogWriter(
+            path,
+            checkpoint_every=(
+                checkpoint_every
+                if checkpoint_every is not None
+                else cfg.epoch_log_checkpoint_every
+            ),
+            fsync=fsync if fsync is not None else cfg.epoch_log_fsync,
+            resume=resume,
+        )
+        self._epoch_log_state_fn = state_fn
+        self._refresh_capture_flags()
+        if not resume:
+            self.epoch_log.append_meta(
+                {
+                    "key_attr": self.env.schema.key,
+                    "seed": cfg.seed,
+                    "shard_conf": self._shard_conf,
+                    "game_meta": meta,
+                }
+            )
+        self._append_epoch_log(force_snapshot=True)
+        return self.epoch_log
+
+    def _append_epoch_log(self, *, force_snapshot: bool = False) -> int:
+        """Append the current state (epoch ``tick_count + 1``) to the log."""
+        state = (
+            self._epoch_log_state_fn()
+            if self._epoch_log_state_fn is not None
+            else None
+        )
+        return self.epoch_log.append_epoch(
+            self.tick_count + 1,
+            self.env.rows,
+            self._shard_conf,
+            delta=None if force_snapshot else self._pending_replica_delta,
+            state=state,
+            force_snapshot=force_snapshot,
+        )
+
+    def restore_state(self, epoch: int, rows: list) -> None:
+        """Adopt *rows* as the authoritative state at *epoch*.
+
+        The resume/recovery boot path: installs the restored environment
+        (taking ownership of *rows*), rewinds the tick counter so the
+        next tick is number *epoch* (post-tick states are epoch
+        ``tick_count + 1``), and drops everything derived from the
+        previous timeline -- pending change captures, retained index
+        state (the next ``begin_tick`` sees no delta and rebuilds), and
+        worker replicas (their next broadcast snapshot-feeds them).
+        Nothing else needs restoring: the counter-mode rng is a pure
+        function of (seed, tick, unit key), so state + tick number
+        fully determine the future trajectory.
+        """
+        if epoch < 1:
+            raise ValueError(f"epoch must be >= 1, got {epoch}")
+        env = EnvironmentTable(self.env.schema)
+        env.rows.extend(rows)
+        self.env = env
+        self.tick_count = epoch - 1
+        self._pending_delta = None
+        self._pending_replica_delta = None
+        self._pending_raw_delta = None
+        self._remote_eval_tick = -1
+        self._remote_by_key = None
+
     # -- shard layout lifecycle ---------------------------------------------------
 
     def _refresh_capture_flags(self) -> None:
@@ -547,11 +678,18 @@ class SimulationEngine:
             self._processes and cfg.worker_scope == "shards"
         )
         self._capture_replica_delta = (
-            self._processes
-            and cfg.worker_broadcast == "delta"
-            and not scoped_workers
-        ) or (
-            self.publisher is not None and self.publisher.broadcast == "delta"
+            (
+                self._processes
+                and cfg.worker_broadcast == "delta"
+                and not scoped_workers
+            )
+            or (
+                self.publisher is not None
+                and self.publisher.broadcast == "delta"
+            )
+            # the epoch log prefers deltas too (snapshots only at
+            # checkpoints), so an attached log keeps the capture on
+            or self.epoch_log is not None
         )
         self._capture_raw_delta = (
             scoped_workers and cfg.worker_broadcast == "delta"
@@ -1101,6 +1239,15 @@ class SimulationEngine:
                 delta=self._pending_replica_delta,
             )
 
+        # durable epoch log: append the same post-tick state the publish
+        # stage just streamed (delta when it chains, snapshot checkpoint
+        # otherwise).  Encoding happens here -- rows are never mutated
+        # after a tick, so the background disk write needs no copy --
+        # and the tick loop never waits on the disk.
+        log_bytes = 0
+        if self.epoch_log is not None:
+            log_bytes = self._append_epoch_log()
+
         stats = TickStats(
             tick=self.tick_count,
             units=len(env),
@@ -1115,6 +1262,7 @@ class SimulationEngine:
             shards=self.config.num_shards,
             broadcast_bytes=self._last_broadcast_bytes,
             publish_bytes=publish_bytes,
+            log_bytes=log_bytes,
         )
         self.history.append(stats)
         return stats

@@ -40,6 +40,11 @@ def battle_worker_game() -> WorkerGame:
     )
 
 
+#: Save-file / log-metadata format version for the battle's persisted
+#: state.  Bump when the persisted dict's shape changes incompatibly.
+SAVE_FORMAT = 1
+
+
 @dataclass
 class BattleSummary:
     """Aggregate statistics of a simulation run."""
@@ -121,6 +126,15 @@ class BattleSimulation:
         :meth:`spawn_spectator` starts one wired to this battle's game
         factory.  Spectators are read-only: they cannot affect the
         trajectory.
+    epoch_log / epoch_log_checkpoint_every / epoch_log_fsync:
+        *epoch_log* names a file the engine appends every post-tick
+        state to (the durable epoch log of :mod:`repro.persist`):
+        deltas when they chain, full-snapshot checkpoints every
+        *epoch_log_checkpoint_every* epochs, battle counters alongside
+        each record.  *epoch_log_fsync* picks durability (``"never"`` |
+        ``"checkpoint"`` | ``"always"``).  A logged battle supports
+        crash recovery via :meth:`recover`; :meth:`save` / :meth:`load`
+        work with or without a log.
     """
 
     def __init__(
@@ -149,6 +163,9 @@ class BattleSimulation:
         worker_max_frame: int | None = None,
         spectators: bool = False,
         spectator_broadcast: str = "delta",
+        epoch_log: str | None = None,
+        epoch_log_checkpoint_every: int = 64,
+        epoch_log_fsync: str = "checkpoint",
     ):
         self.schema = battle_schema()
         make = uniform_battle if formation == "uniform" else two_army_battle
@@ -166,6 +183,35 @@ class BattleSimulation:
         self.resurrection = resurrection
         self.summary = BattleSummary()
         self._next_key = n_units
+        # the picklable construction recipe: recorded in save files and
+        # epoch-log metadata so load()/recover() rebuild an equivalent
+        # simulation before restoring the rows (epoch-log knobs stay
+        # out -- recovery re-attaches the log explicitly)
+        self._ctor_kwargs = dict(
+            n_units=n_units,
+            density=density,
+            mode=mode,
+            formation=formation,
+            composition=dict(composition) if composition else None,
+            seed=seed,
+            resurrection=resurrection,
+            optimize_aoe=optimize_aoe,
+            cascade=cascade,
+            index_maintenance=index_maintenance,
+            incremental_threshold=incremental_threshold,
+            auto_policy=auto_policy,
+            num_shards=num_shards,
+            shard_by=shard_by,
+            parallelism=parallelism,
+            max_workers=max_workers,
+            worker_broadcast=worker_broadcast,
+            workers=workers if workers == "local" else list(workers),
+            worker_scope=worker_scope,
+            worker_timeout=worker_timeout,
+            worker_max_frame=worker_max_frame,
+            spectators=spectators,
+            spectator_broadcast=spectator_broadcast,
+        )
 
         script_by_type = self.scripts
 
@@ -200,6 +246,12 @@ class BattleSimulation:
                 spectator_broadcast=spectator_broadcast,
             ),
         )
+        if epoch_log:
+            self.attach_epoch_log(
+                epoch_log,
+                checkpoint_every=epoch_log_checkpoint_every,
+                fsync=epoch_log_fsync,
+            )
 
     # -- public API -----------------------------------------------------------
 
@@ -257,6 +309,210 @@ class BattleSimulation:
         return sorted(
             tuple(row[n] for n in names) for row in self.engine.env.rows
         )
+
+    # -- persistence: save/load, the epoch log, crash recovery -----------------
+
+    def attach_epoch_log(
+        self,
+        path: str,
+        *,
+        resume: bool = False,
+        checkpoint_every: int | None = None,
+        fsync: str | None = None,
+    ):
+        """Start (or, with *resume*, continue) the durable epoch log.
+
+        Wires the engine's log hook to this battle's counters: every
+        epoch record carries the :class:`BattleSummary` numbers, and the
+        log metadata carries the construction kwargs, so
+        :meth:`recover` can rebuild the battle from the log alone.
+        """
+        return self.engine.attach_epoch_log(
+            path,
+            resume=resume,
+            state_fn=self._persist_state,
+            meta={
+                "game": "repro.game.battle",
+                "format": SAVE_FORMAT,
+                "kwargs": self._ctor_kwargs,
+                "grid_size": self.grid_size,
+            },
+            checkpoint_every=checkpoint_every,
+            fsync=fsync,
+        )
+
+    def _persist_state(self) -> dict:
+        """The battle-level state logged/saved alongside the rows.
+
+        Per-tick wall-clock stats are diagnostics, not state, and are
+        deliberately not persisted; a resumed run's ``tick_stats``
+        cover only the ticks it ran itself.
+
+        The tick count comes from the engine, not ``summary.ticks``:
+        the epoch log calls this mid-tick, after the engine advanced
+        its count but before :meth:`tick` folds the stats into the
+        summary -- the engine's count is the post-tick truth either
+        way (the two agree between ticks).
+        """
+        return {
+            "ticks": self.engine.tick_count,
+            "deaths": self.summary.deaths,
+            "resurrections": self.summary.resurrections,
+            "total_damage": self.summary.total_damage,
+            "total_healing": self.summary.total_healing,
+            "next_key": self._next_key,
+        }
+
+    def _restore(self, epoch: int, rows: list, state: dict) -> None:
+        self.engine.restore_state(epoch, rows)
+        self.summary = BattleSummary(
+            ticks=state["ticks"],
+            deaths=state["deaths"],
+            resurrections=state["resurrections"],
+            total_damage=state["total_damage"],
+            total_healing=state["total_healing"],
+        )
+        self._next_key = state["next_key"]
+
+    def save(self, path: str) -> None:
+        """Write a one-record save file of the battle mid-run.
+
+        The file carries the construction kwargs, the current epoch and
+        rows, and the summary counters; :meth:`load` restores all of it
+        and the resumed trajectory is bit-identical to never having
+        stopped (state + tick number fully determine the future -- the
+        rng is counter-mode).  Works with or without an epoch log
+        attached.
+        """
+        from ..persist.log import write_state_file
+
+        epoch = self.engine.tick_count + 1
+        write_state_file(
+            path,
+            epoch,
+            {
+                "format": SAVE_FORMAT,
+                "game": "repro.game.battle",
+                "kwargs": self._ctor_kwargs,
+                "grid_size": self.grid_size,
+                "epoch": epoch,
+                "rows": self.engine.env.rows,
+                "state": self._persist_state(),
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str, **overrides) -> "BattleSimulation":
+        """Rebuild a battle from a :meth:`save` file and resume it.
+
+        *overrides* replace construction kwargs -- performance knobs
+        (``parallelism``, ``num_shards``, ``spectators``, ...) may
+        change freely across a save/load boundary without affecting the
+        trajectory, exactly as they may between runs.  Pass
+        ``epoch_log=`` (plus the checkpoint/fsync knobs) to start
+        logging the resumed run.
+        """
+        from ..persist.log import EpochLogError, read_state_file
+
+        _epoch, payload = read_state_file(path)
+        if payload.get("game") != "repro.game.battle":
+            raise EpochLogError(
+                f"{path!r} was saved by {payload.get('game')!r}, "
+                "not the battle simulation"
+            )
+        if payload.get("format") != SAVE_FORMAT:
+            raise EpochLogError(
+                f"{path!r} uses save format {payload.get('format')!r} "
+                f"(this build reads {SAVE_FORMAT})"
+            )
+        return cls._rebuild(
+            payload["kwargs"],
+            payload["epoch"],
+            payload["rows"],
+            payload["state"],
+            overrides,
+        )
+
+    @classmethod
+    def recover(
+        cls, log_path: str, *, resume_log: bool = True, **overrides
+    ) -> "BattleSimulation":
+        """Recover a crashed battle from its durable epoch log.
+
+        The crash drill's path: truncates any torn tail record (a
+        coordinator killed mid-write; logged loudly, never
+        half-applied), replays the log to the last epoch whose battle
+        counters are durable, rebuilds the simulation from the recorded
+        construction kwargs, and -- with *resume_log* (default) --
+        re-attaches the same log in append mode, starting with a fresh
+        checkpoint.  Running the recovered battle forward produces a
+        trajectory bit-identical to one that never crashed.
+        """
+        from ..persist.log import (
+            EpochLogError,
+            EpochLogReader,
+            truncate_torn_tail,
+        )
+
+        truncate_torn_tail(log_path)
+        with EpochLogReader(log_path) as reader:
+            meta = reader.meta()
+            game_meta = (meta or {}).get("game_meta") or {}
+            if game_meta.get("game") != "repro.game.battle":
+                raise EpochLogError(
+                    f"{log_path!r} was not written by the battle "
+                    f"simulation (producer: {game_meta.get('game')!r})"
+                )
+            # every epoch record is followed by its REC_STATE, so the
+            # last durable state names the last fully-recoverable epoch
+            last_state = reader.last_state()
+            if last_state is None:
+                raise EpochLogError(
+                    f"{log_path!r} holds no recoverable state"
+                )
+            epoch, state = last_state
+            result = reader.replay(upto=epoch, key_attr="key")
+            if result.epoch != epoch:  # pragma: no cover - defensive
+                raise EpochLogError(
+                    f"{log_path!r}: state record at epoch {epoch} but "
+                    f"replay reaches {result.epoch}"
+                )
+        sim = cls._rebuild(
+            game_meta["kwargs"], epoch, result.rows, state, overrides
+        )
+        if resume_log:
+            sim.attach_epoch_log(log_path, resume=True)
+        return sim
+
+    @classmethod
+    def _rebuild(
+        cls,
+        kwargs: dict,
+        epoch: int,
+        rows: list,
+        state: dict,
+        overrides: dict,
+    ) -> "BattleSimulation":
+        merged = dict(kwargs)
+        overrides = dict(overrides)
+        # the log attaches after the rows are restored, never during
+        # construction -- the scenario's initial rows must not be logged
+        # as if they were the resumed state
+        epoch_log = overrides.pop("epoch_log", None)
+        checkpoint_every = overrides.pop("epoch_log_checkpoint_every", None)
+        fsync = overrides.pop("epoch_log_fsync", None)
+        merged.update(overrides)
+        sim = cls(**merged)
+        try:
+            sim._restore(epoch, rows, state)
+            if epoch_log:
+                sim.attach_epoch_log(
+                    epoch_log, checkpoint_every=checkpoint_every, fsync=fsync
+                )
+        except BaseException:
+            sim.close()
+            raise
+        return sim
 
     # -- game mechanics: the Example 4.1 post-processing + movement ------------
 

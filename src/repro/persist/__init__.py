@@ -1,0 +1,74 @@
+"""``repro.persist`` -- durability over the replica protocol.
+
+The epoch-versioned snapshot/delta blobs of the replica protocol
+(:mod:`repro.env.sharding`) are a complete serialization of the
+simulation's state evolution; this package persists them:
+
+* :mod:`repro.persist.framing` -- the CRC-framed on-disk record format
+  (file header, record header, torn-tail detection);
+* :mod:`repro.persist.log` -- :class:`EpochLogWriter` (the engine's
+  per-tick append hook: deltas when they chain, full-snapshot
+  checkpoints on a cadence, disk writes on a background thread),
+  :class:`EpochLogReader` (scan, inspect, and **replay** any retained
+  epoch through the same :class:`~repro.env.sharding.ReplicaTable`
+  machinery live replicas use -- bit-exact rows and row order), and
+  :func:`truncate_torn_tail` (crash recovery: drop a partial tail
+  record loudly instead of half-applying it);
+* :mod:`repro.persist.history` -- :class:`EpochHistory`, the in-memory
+  bounded history a spectator replica keeps so time-travel queries can
+  be answered at any retained epoch.
+
+Wired up by ``EngineConfig(epoch_log=...)`` /
+``BattleSimulation(epoch_log=...)`` on the writing side and
+``BattleSimulation.load`` / ``.recover`` / ``run_battle(resume_from=
+...)`` on the reading side; ``SpectatorClient.query(..., epoch=K)``
+reaches the history through the spectator server.
+"""
+
+from .framing import (
+    FILE_HEADER,
+    FORMAT_VERSION,
+    REC_DELTA,
+    REC_META,
+    REC_SNAPSHOT,
+    REC_STATE,
+    LogFormatError,
+    Record,
+    TornTailError,
+    encode_record,
+    iter_records,
+)
+from .history import EpochHistory
+from .log import (
+    EpochLogError,
+    EpochLogReader,
+    EpochLogStats,
+    EpochLogWriter,
+    ReplayResult,
+    read_state_file,
+    truncate_torn_tail,
+    write_state_file,
+)
+
+__all__ = [
+    "FILE_HEADER",
+    "FORMAT_VERSION",
+    "REC_DELTA",
+    "REC_META",
+    "REC_SNAPSHOT",
+    "REC_STATE",
+    "EpochHistory",
+    "EpochLogError",
+    "EpochLogReader",
+    "EpochLogStats",
+    "EpochLogWriter",
+    "LogFormatError",
+    "Record",
+    "ReplayResult",
+    "TornTailError",
+    "encode_record",
+    "iter_records",
+    "read_state_file",
+    "truncate_torn_tail",
+    "write_state_file",
+]

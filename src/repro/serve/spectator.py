@@ -19,8 +19,16 @@
 
 Epoch pinning: ``epoch="latest"`` answers at whatever epoch the replica
 holds; an integer epoch parks the request until the feed reaches that
-epoch (bounded by the request's timeout) and fails if the replica has
-already advanced past it -- replicas move forward only.
+epoch (bounded by the request's timeout).  An epoch the replica has
+already advanced past is answered by **time travel**: the spectator
+retains a bounded :class:`~repro.persist.history.EpochHistory` of
+applied updates (checkpoints every ``history_checkpoint_every`` epochs,
+the last ``history_retain`` epochs kept), reconstructs the rows at the
+pinned epoch by replaying forward from the nearest checkpoint, and
+answers through the same :class:`~repro.serve.queries.QueryEngine` path
+as live queries -- so historical answers are bit-identical to what the
+authoritative engine answered at that epoch.  Epochs older than the
+retained span fail loudly.
 
 The simulation never blocks on spectators: the publisher's send is the
 only coupling, and a slow or dead spectator is dropped there.
@@ -86,6 +94,24 @@ class _SpectatorServer:
         self.engine = QueryEngine(
             game.schema, game.registry, maintenance="incremental"
         )
+        # bounded epoch history for time-travel queries; retain=0 turns
+        # it off (superseded-epoch pins then fail as they always did)
+        retain = int(payload.get("history_retain", 256))
+        self.history = None
+        if retain > 0:
+            from ..persist.history import EpochHistory
+
+            self.history = EpochHistory(
+                game.schema.key,
+                checkpoint_every=int(
+                    payload.get("history_checkpoint_every", 32)
+                ),
+                retain=retain,
+            )
+        #: Lazily-built query engine over one reconstructed historical
+        #: epoch; cached so repeated queries at the same epoch replay
+        #: (and rebuild indexes) once.
+        self._history_engine: tuple[int, QueryEngine] | None = None
         # a finite feed timeout keeps the single-threaded event loop
         # unwedgeable: a publisher that stalls mid-frame (half-open
         # connection, network partition) surfaces as a transport error
@@ -120,6 +146,8 @@ class _SpectatorServer:
             self.replica.apply_snapshot(epoch, rows)
             self.engine.begin(self._replica_env(), delta=None)
             self.snapshots_applied += 1
+            if self.history is not None:
+                self.history.record_snapshot(epoch, self.replica.rows)
         else:
             rd = update[1]
             try:
@@ -132,6 +160,11 @@ class _SpectatorServer:
                 self.feed.send((SUB_STALE, NO_REPLICA))
                 return
             self.engine.begin(self._replica_env(), delta=table_delta)
+            if self.history is not None:
+                # safe to retain by reference: delta application never
+                # mutates a row in place, so epoch-k row objects stay
+                # the epoch-k state forever
+                self.history.record_delta(rd, self.replica.rows)
         self.updates_applied += 1
 
     def _replica_env(self) -> EnvironmentTable:
@@ -175,6 +208,9 @@ class _SpectatorServer:
                         "stale_reports": self.stale_reports,
                         "engine_stats": dict(self.engine.stats),
                         "evaluator_stats": dict(self.engine.evaluator.stats),
+                        "history_span": (
+                            None if self.history is None else self.history.span()
+                        ),
                     },
                 )
             )
@@ -204,14 +240,9 @@ class _SpectatorServer:
         elif held == NO_REPLICA or held < wanted:
             return False  # park until the feed reaches the epoch
         elif held > wanted:
-            self._send_reply(
-                transport,
-                (
-                    RESP_ERROR,
-                    f"epoch {wanted} already superseded (replica at "
-                    f"{held}); replicas only move forward",
-                ),
-            )
+            # time travel: the live replica moved past the pinned epoch,
+            # but the retained history may still reconstruct it
+            self._answer_historical(transport, request, wanted, held)
             return True
         try:
             value = self.engine.answer(request)
@@ -222,6 +253,65 @@ class _SpectatorServer:
             reply = (RESP_ERROR, traceback.format_exc())
         self._send_reply(transport, reply)
         return True
+
+    def _answer_historical(
+        self, transport: SocketTransport, request, wanted: int, held: int
+    ) -> None:
+        """Answer a query pinned to an epoch the replica moved past.
+
+        Reconstructs the rows at *wanted* from the retained history
+        (nearest checkpoint + deltas forward -- the same replica
+        machinery the live feed uses) and evaluates through a
+        rebuild-mode :class:`~repro.serve.queries.QueryEngine` over
+        them: the identical evaluation path as a live answer, hence
+        bit-identical to what the authoritative engine answered at that
+        epoch.
+        """
+        history = self.history
+        if history is None or not history.covers(wanted):
+            span = None if history is None else history.span()
+            retained = (
+                "history disabled (history_retain=0)"
+                if history is None
+                else f"history retains epochs {span[0]}..{span[1]}"
+                if span
+                else "history is empty"
+            )
+            self._send_reply(
+                transport,
+                (
+                    RESP_ERROR,
+                    f"epoch {wanted} already superseded (replica at "
+                    f"{held}) and not reconstructible: {retained}",
+                ),
+            )
+            return
+        try:
+            engine = self._engine_at(wanted)
+            value = engine.answer(request)
+            reply = (RESP_OK, QueryAnswer(epoch=wanted, value=value))
+        except QueryError as exc:
+            reply = (RESP_ERROR, str(exc))
+        except Exception:  # noqa: BLE001 - surface, never kill the loop
+            reply = (RESP_ERROR, traceback.format_exc())
+        self._send_reply(transport, reply)
+
+    def _engine_at(self, epoch: int):
+        """A query engine over the reconstructed rows at *epoch* (cached)."""
+        from .queries import QueryEngine
+
+        cached = self._history_engine
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        rows = self.history.reconstruct(epoch)
+        env = EnvironmentTable(self.game.schema)
+        env.rows.extend(rows)
+        engine = QueryEngine(
+            self.game.schema, self.game.registry, maintenance="rebuild"
+        )
+        engine.begin(env, delta=None)
+        self._history_engine = (epoch, engine)
+        return engine
 
     def _send_reply(self, transport: SocketTransport, reply) -> None:
         try:

@@ -281,12 +281,29 @@ class TestSpectatorFaultDrills:
                 battle.run(2)
                 current = battle.engine.tick_count + 1
                 wait_for_epoch(client, current)
-                # a passed epoch cannot be served: replicas move forward
+                # a passed epoch is served from the retained history
+                # (time travel; bit-exactness is covered in
+                # tests/serve/test_time_travel.py)
+                answer = client.query("team_counts", epoch=current - 1)
+                assert answer.epoch == current - 1
+                # an epoch from before the replica joined is gone
                 with pytest.raises(SpectatorError, match="superseded"):
-                    client.query("team_counts", epoch=current - 1)
+                    client.query("team_counts", epoch=0)
                 # a future epoch parks until its tick... or times out
                 with pytest.raises(SpectatorError, match="timed out"):
                     client.query("team_counts", epoch=current + 50, timeout=0.3)
+
+    def test_history_disabled_keeps_forward_only_rule(self, battle):
+        with battle.spawn_spectator(
+            payload={"history_retain": 0}
+        ) as spectator:
+            with spectator.client() as client:
+                battle.run(2)
+                current = battle.engine.tick_count + 1
+                wait_for_epoch(client, current)
+                assert client.status()["history_span"] is None
+                with pytest.raises(SpectatorError, match="superseded"):
+                    client.query("team_counts", epoch=current - 1)
 
     def test_query_errors_are_reported_not_fatal(self, battle):
         with battle.spawn_spectator() as spectator:
