@@ -59,6 +59,9 @@ TIMING_SERIES = (
     # per-tick broadcast or log bytes is a wire/disk-format regression
     ("broadcast_bytes", ("config",)),
     ("log_bytes_per_tick", ("config",)),
+    # observability must stay near-free: bench_obs hard-asserts the
+    # metrics-only ratio <= 1.03, and the trajectory watches its drift
+    ("overhead_ratio", ("config",)),
 )
 
 

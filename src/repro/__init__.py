@@ -39,6 +39,15 @@ k-NN queries over loopback sockets, pinned to a consistent tick epoch
 and bit-identical to querying the engine directly
 (``benchmarks/bench_spectators.py`` asserts it live).
 
+Everything above is observable: ``metrics=True`` attaches the
+:mod:`repro.obs` metrics registry (Prometheus text endpoint via
+``engine.serve_metrics()``), ``trace_path=`` records an
+epoch-correlated Chrome trace of every tick stage, worker round trip,
+spectator publish, and epoch-log write, and ``slow_tick_factor=`` arms
+the slow-tick watchdog -- all read-only diagnostics that leave
+trajectories bit-identical (``benchmarks/bench_obs.py`` asserts both
+that and the overhead bound; see ``docs/observability.md``).
+
 Quickstart::
 
     from repro import run_battle
@@ -58,6 +67,7 @@ from .env.schema import Attribute, AttributeType, Schema, battle_schema
 from .env.sharding import ShardedEnvironment, make_sharder
 from .env.table import EnvironmentTable
 from .game.battle import BattleSimulation, BattleSummary
+from .obs import MetricsRegistry, SlowTickWatchdog, TraceRecorder
 from .serve import (
     AuthoritativeQueryService,
     ReplicaPublisher,
@@ -81,12 +91,15 @@ __all__ = [
     "ExplainResult",
     "FunctionRegistry",
     "GameDefinition",
+    "MetricsRegistry",
     "ReplicaPublisher",
     "Schema",
     "ShardedEnvironment",
     "SimulationEngine",
+    "SlowTickWatchdog",
     "SpectatorClient",
     "SpectatorReplica",
+    "TraceRecorder",
     "battle_schema",
     "compile_script",
     "explain_script",

@@ -120,6 +120,9 @@ class GameDefinition:
         epoch_log: str | None = None,
         epoch_log_checkpoint_every: int = 64,
         epoch_log_fsync: str = "checkpoint",
+        metrics: bool = False,
+        trace_path: str | None = None,
+        slow_tick_factor: float | None = None,
     ) -> SimulationEngine:
         """Build a :class:`SimulationEngine` for this game definition.
 
@@ -173,6 +176,15 @@ class GameDefinition:
         crashed coordinator recovers by replay +
         :meth:`~repro.engine.clock.SimulationEngine.restore_state`.
 
+        *metrics* / *trace_path* / *slow_tick_factor* are the
+        observability knobs (:mod:`repro.obs`): a process-local metrics
+        registry (``engine.metrics``, servable over HTTP with
+        ``engine.serve_metrics()``), an epoch-correlated Chrome
+        trace-event recording of every tick stage / worker round trip /
+        publish / log write, and the slow-tick watchdog (flag ticks
+        slower than ``factor`` x the EWMA).  All are read-only
+        diagnostics -- trajectories are bit-identical with them on.
+
         All strategies, shard counts, and parallelism modes are
         bit-identical in trajectory when aggregate measure and effect
         sums are floating-point exact (e.g. integer-valued measures);
@@ -215,6 +227,9 @@ class GameDefinition:
                 epoch_log=epoch_log,
                 epoch_log_checkpoint_every=epoch_log_checkpoint_every,
                 epoch_log_fsync=epoch_log_fsync,
+                metrics=metrics,
+                trace_path=trace_path,
+                slow_tick_factor=slow_tick_factor,
             ),
         )
 
@@ -240,6 +255,9 @@ def run_battle(
     worker_scope: str = "full",
     epoch_log: str | None = None,
     resume_from: str | None = None,
+    metrics: bool = False,
+    trace_path: str | None = None,
+    slow_tick_factor: float | None = None,
 ) -> BattleSummary:
     """One-call battle run; returns the summary with per-tick stats.
 
@@ -262,10 +280,22 @@ def run_battle(
     starting fresh: the saved configuration wins (*n_units* may be
     ``None``), the battle runs *ticks* further ticks, and the combined
     trajectory is bit-identical to an uninterrupted run.
+
+    *metrics* / *trace_path* / *slow_tick_factor* attach the
+    observability layer (:mod:`repro.obs`): the metrics registry, the
+    Chrome trace-event recording, and the slow-tick watchdog.  They are
+    read-only diagnostics and never perturb the trajectory.
     """
+    obs = {}
+    if metrics:
+        obs["metrics"] = metrics
+    if trace_path is not None:
+        obs["trace_path"] = trace_path
+    if slow_tick_factor is not None:
+        obs["slow_tick_factor"] = slow_tick_factor
     if resume_from is not None:
         extra = {"epoch_log": epoch_log} if epoch_log else {}
-        with BattleSimulation.load(resume_from, **extra) as sim:
+        with BattleSimulation.load(resume_from, **extra, **obs) as sim:
             return sim.run(ticks)
     if n_units is None:
         raise ValueError("n_units is required unless resume_from is given")
@@ -287,5 +317,6 @@ def run_battle(
         workers=workers,
         worker_scope=worker_scope,
         epoch_log=epoch_log,
+        **obs,
     ) as sim:
         return sim.run(ticks)

@@ -69,6 +69,12 @@ from ..env.sharding import (
     make_sharder,
 )
 from ..env.table import EnvironmentTable, TableDelta, diff_by_key
+from ..obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    SlowTickWatchdog,
+    TraceRecorder,
+)
 from ..sgl import ast
 from ..sgl.analysis import analyze_script
 from ..sgl.builtins import FunctionRegistry
@@ -91,6 +97,21 @@ _RUNNER_CACHE_MAX = 256
 
 #: One shard's decision work: (runner, unit rows) in shard-local order.
 _ShardTask = list[tuple[DecisionRunner, list]]
+
+#: Canonical stage names, in pipeline order -- the label vocabulary the
+#: ``stage_seconds`` histograms, trace spans, and watchdog breakdowns
+#: all share.  ("capture" time is folded into "maintenance", matching
+#: ``TickStats.maintenance_time``, but traced as its own span.)
+_STAGES = (
+    "partition",
+    "maintenance",
+    "decision",
+    "aoe",
+    "combine",
+    "mechanics",
+    "publish",
+    "log_append",
+)
 
 
 @dataclass
@@ -121,6 +142,15 @@ class TickStats:
     #: the tick loop, written by the log's background thread); 0 when
     #: no log is attached.
     log_bytes: int = 0
+    #: Stage-0 shard partition of ``E`` (seconds).
+    partition_time: float = 0.0
+    #: Publish stage: streaming the post-tick state to spectator
+    #: subscribers; 0.0 when no publisher is attached.
+    publish_time: float = 0.0
+    #: Epoch-log append: record encoding plus the queue hand-off (the
+    #: disk write runs on the log's background thread); 0.0 when no log
+    #: is attached.
+    log_time: float = 0.0
 
 
 @dataclass
@@ -224,6 +254,31 @@ class EngineConfig:
       only), ``"checkpoint"`` (default), or ``"always"`` (every
       record -- what a crash drill wants).
 
+    Observability (the ``repro.obs`` layer):
+
+    * ``metrics`` -- when true, the engine creates a process-local
+      :class:`~repro.obs.registry.MetricsRegistry` and every layer --
+      tick loop, worker pool, spectator publisher, epoch-log writer,
+      evaluator -- records its counters/gauges/histograms there (see
+      ``docs/observability.md`` for the full name catalogue);
+      :meth:`SimulationEngine.serve_metrics` exposes the registry as a
+      Prometheus ``/metrics`` endpoint.  Off by default; disabled
+      metrics cost one no-op method call per instrument site;
+    * ``trace_path`` -- when set, the engine writes an epoch-correlated
+      Chrome trace-event file (Perfetto / ``about:tracing`` loadable)
+      with a span for every tick stage, worker round trip, publisher
+      send, and epoch-log encode/write/fsync, plus instant events for
+      faults (respawns, reconnects, STALE re-feeds, subscriber drops)
+      and watchdog flags;
+    * ``slow_tick_factor`` -- when set (must be > 1), a slow-tick
+      watchdog flags any tick whose total exceeds ``factor`` times the
+      EWMA of recent tick totals, logging the offending stage breakdown
+      at WARNING.  Independent of ``metrics``.
+
+    Observability reads the wall-clock diagnostics the engine already
+    measures and never touches simulation state, so trajectories are
+    bit-identical with it on or off.
+
     All maintenance modes, shard counts, and parallelism modes produce
     bit-identical trajectories whenever effect/measure sums are exact in
     floating point -- true for integer-valued measures like the battle
@@ -263,6 +318,12 @@ class EngineConfig:
     epoch_log: str | None = None
     epoch_log_checkpoint_every: int = 64
     epoch_log_fsync: str = "checkpoint"  # "never" | "checkpoint" | "always"
+    #: Enable the process-local metrics registry (repro.obs).
+    metrics: bool = False
+    #: Chrome trace-event output path, or None (no tracing).
+    trace_path: str | None = None
+    #: Slow-tick watchdog threshold (the k in k x EWMA), or None (off).
+    slow_tick_factor: float | None = None
 
 
 class SimulationEngine:
@@ -366,6 +427,33 @@ class SimulationEngine:
         self._processes = cfg.parallelism == "processes" and cfg.num_shards > 1
         self._pool = None  # ThreadPoolExecutor | ReplicaWorkerPool
 
+        # observability: instruments are resolved once, here, so the
+        # tick loop mutates pre-bound cells (no-op cells when metrics
+        # are off -- the disabled cost is the method call itself).
+        self.metrics = MetricsRegistry() if cfg.metrics else NULL_REGISTRY
+        self.trace = TraceRecorder(cfg.trace_path) if cfg.trace_path else None
+        self.watchdog = (
+            SlowTickWatchdog(cfg.slow_tick_factor)  # validates factor > 1
+            if cfg.slow_tick_factor is not None
+            else None
+        )
+        self._prom_server = None
+        m = self.metrics
+        self._m_ticks = m.counter("ticks_total")
+        self._m_epoch = m.gauge("epoch")
+        self._m_units = m.gauge("units")
+        self._m_effect_rows = m.counter("effect_rows_total")
+        self._m_aoe_records = m.counter("aoe_records_total")
+        self._m_tick_seconds = m.histogram("tick_seconds")
+        self._m_stage = {
+            stage: m.histogram("stage_seconds", stage=stage)
+            for stage in _STAGES
+        }
+        self._m_broadcast_bytes = m.counter("broadcast_bytes_total")
+        self._m_publish_bytes = m.counter("publish_bytes_total")
+        self._m_log_bytes = m.counter("log_bytes_total")
+        self._m_slow_ticks = m.counter("watchdog_slow_ticks_total")
+
         if self.indexed:
             self.agg_eval = IndexedEvaluator(
                 registry,
@@ -379,6 +467,8 @@ class SimulationEngine:
             )
         else:
             self.agg_eval = NaiveEvaluator()
+        if self.indexed and self.metrics.enabled:
+            self.agg_eval.bind_metrics(self.metrics)
 
         # change capture: the delta diffed at the end of tick t is
         # consumed at t+1, either by the parent evaluator's incremental
@@ -445,6 +535,8 @@ class SimulationEngine:
                         endpoints=self._worker_endpoints,
                         max_frame=cfg.worker_max_frame or DEFAULT_MAX_FRAME,
                         io_timeout=cfg.worker_timeout,
+                        metrics=self.metrics,
+                        trace=self.trace,
                     )
                 else:
                     import multiprocessing
@@ -457,7 +549,12 @@ class SimulationEngine:
                         cfg.max_workers or cfg.num_shards, cfg.num_shards
                     )
                     self._pool = ReplicaWorkerPool(
-                        cfg.worker_factory, payload, workers, ctx
+                        cfg.worker_factory,
+                        payload,
+                        workers,
+                        ctx,
+                        metrics=self.metrics,
+                        trace=self.trace,
                     )
             else:
                 workers = cfg.max_workers or cfg.num_shards
@@ -498,6 +595,14 @@ class SimulationEngine:
             else:
                 self._pool.close()
             self._pool = None
+        if self._prom_server is not None:
+            self._prom_server.shutdown()
+            self._prom_server = None
+        # trace last: the publisher and epoch log emit their final spans
+        # while draining above.  The recorder drops events after close,
+        # so a second close() (or a late emit) is harmless.
+        if self.trace is not None:
+            self.trace.close()
 
     # -- spectator serving --------------------------------------------------------
 
@@ -525,6 +630,8 @@ class SimulationEngine:
             host=host,
             port=port,
             broadcast=broadcast or self.config.spectator_broadcast,
+            metrics=self.metrics,
+            trace=self.trace,
         )
         self._refresh_capture_flags()
         return self.publisher
@@ -533,6 +640,39 @@ class SimulationEngine:
     def spectator_address(self) -> tuple[str, int] | None:
         """The publisher's ``(host, port)``, or ``None`` when not serving."""
         return None if self.publisher is None else self.publisher.address
+
+    # -- live metrics exposition --------------------------------------------------
+
+    def serve_metrics(
+        self, *, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Expose the metrics registry at ``http://host:port/metrics``
+        (Prometheus text exposition, port 0 = ephemeral); returns the
+        bound ``(host, port)``.  Requires ``EngineConfig(metrics=True)``;
+        the daemon-thread server is shut down by :meth:`close`.
+        """
+        if not self.metrics.enabled:
+            raise RuntimeError(
+                "metrics are disabled; construct the engine with "
+                "EngineConfig(metrics=True) to serve them"
+            )
+        if self._prom_server is not None:
+            raise RuntimeError("engine is already serving metrics")
+        from ..obs import serve_prometheus
+
+        self._prom_server, address = serve_prometheus(
+            self.metrics, host=host, port=port
+        )
+        return address
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The ``/metrics`` endpoint's ``(host, port)``, or ``None``."""
+        return (
+            None
+            if self._prom_server is None
+            else self._prom_server.server_address
+        )
 
     def publish_spectators(self) -> int:
         """Run the publish stage between ticks; returns bytes shipped.
@@ -601,6 +741,8 @@ class SimulationEngine:
             ),
             fsync=fsync if fsync is not None else cfg.epoch_log_fsync,
             resume=resume,
+            metrics=self.metrics,
+            trace=self.trace,
         )
         self._epoch_log_state_fn = state_fn
         self._refresh_capture_flags()
@@ -1072,13 +1214,20 @@ class SimulationEngine:
         start = time.perf_counter()
         self._refresh_sharding()
         self.tick_count += 1
+        epoch = self.tick_count + 1  # post-tick states are epoch t+1
+        trace = self.trace
         self.rng.advance(self.tick_count)
         self._last_broadcast_bytes = 0
         env = self.env
         schema = env.schema
 
         # stage 0: partition E by the shard key
+        t0 = time.perf_counter()
         sharded = self._stage_partition(env)
+        t1 = time.perf_counter()
+        partition_time = t1 - t0
+        if trace is not None:
+            trace.complete_perf("partition", "tick", t0, t1, epoch=epoch)
 
         # stage 1: (re)arm the evaluator; pass sweep-batch hints.  With
         # delta maintenance enabled this is where last tick's captured
@@ -1098,7 +1247,12 @@ class SimulationEngine:
                 )
                 if self._parallel:
                     self.agg_eval.prepare(hinted)
-                maintenance_time += time.perf_counter() - t0
+                t1 = time.perf_counter()
+                maintenance_time += t1 - t0
+                if trace is not None:
+                    trace.complete_perf(
+                        "maintenance", "tick", t0, t1, epoch=epoch
+                    )
                 self._pending_delta = None
                 by_key = env.by_key()
 
@@ -1117,7 +1271,13 @@ class SimulationEngine:
             shard_results = [
                 self._run_decision(task, by_key, env) for task in shard_tasks
             ]
-        decision_time = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        decision_time = t1 - t0
+        if trace is not None:
+            trace.complete_perf(
+                "decision", "tick", t0, t1, epoch=epoch,
+                shards=len(sharded.shards),
+            )
 
         # stage 3: second index build -- resolve deferred area effects
         # gathered from every shard, one resolution per target shard
@@ -1147,7 +1307,12 @@ class SimulationEngine:
                 aoe_rows_by_shard = [
                     resolve_shard(shard) for shard in sharded.shards
                 ]
-        aoe_time = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        aoe_time = t1 - t0
+        if trace is not None:
+            trace.complete_perf(
+                "aoe", "tick", t0, t1, epoch=epoch, records=len(all_aoe)
+            )
 
         # stage 4: ⊕-merge (Eq. 6: main⊕(E) ⊕ E).  Deterministic merge
         # order: E first (seeding the row order), then every shard's
@@ -1168,12 +1333,21 @@ class SimulationEngine:
             table.rows.extend(rows)
             tables.append(table)
         combined = combine_all(tables, schema)
-        combine_time = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        combine_time = t1 - t0
+        if trace is not None:
+            trace.complete_perf(
+                "combine", "tick", t0, t1, epoch=epoch,
+                effect_rows=effect_row_count,
+            )
 
         # stage 5: game mechanics (post-processing + movement)
         t0 = time.perf_counter()
         self.env = self.mechanics(combined, self.rng, self.tick_count)
-        mechanics_time = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        mechanics_time = t1 - t0
+        if trace is not None:
+            trace.complete_perf("mechanics", "tick", t0, t1, epoch=epoch)
 
         # change capture: diff the post-mechanics environment against the
         # tick-start snapshot (mechanics copies rows, so *env* still holds
@@ -1223,7 +1397,10 @@ class SimulationEngine:
                         shard_of=self.shard_of,
                     )
                 )
-            maintenance_time += time.perf_counter() - t0
+            t1 = time.perf_counter()
+            maintenance_time += t1 - t0
+            if trace is not None:
+                trace.complete_perf("capture", "tick", t0, t1, epoch=epoch)
 
         # stage 6: publish -- stream the post-tick state (epoch
         # tick_count + 1) to spectator subscribers: the captured delta
@@ -1231,13 +1408,22 @@ class SimulationEngine:
         # and forget: spectators are read-only and can never stall or
         # corrupt the tick loop.
         publish_bytes = 0
+        publish_time = 0.0
         if self.publisher is not None:
+            t0 = time.perf_counter()
             publish_bytes = self.publisher.publish(
                 epoch=self.tick_count + 1,
                 rows=self.env.rows,
                 shard_conf=self._shard_conf,
                 delta=self._pending_replica_delta,
             )
+            t1 = time.perf_counter()
+            publish_time = t1 - t0
+            if trace is not None:
+                trace.complete_perf(
+                    "publish", "tick", t0, t1, epoch=epoch,
+                    bytes=publish_bytes,
+                )
 
         # durable epoch log: append the same post-tick state the publish
         # stage just streamed (delta when it chains, snapshot checkpoint
@@ -1245,8 +1431,17 @@ class SimulationEngine:
         # after a tick, so the background disk write needs no copy --
         # and the tick loop never waits on the disk.
         log_bytes = 0
+        log_time = 0.0
         if self.epoch_log is not None:
+            t0 = time.perf_counter()
             log_bytes = self._append_epoch_log()
+            t1 = time.perf_counter()
+            log_time = t1 - t0
+            if trace is not None:
+                trace.complete_perf(
+                    "log_append", "tick", t0, t1, epoch=epoch,
+                    bytes=log_bytes,
+                )
 
         stats = TickStats(
             tick=self.tick_count,
@@ -1263,9 +1458,66 @@ class SimulationEngine:
             broadcast_bytes=self._last_broadcast_bytes,
             publish_bytes=publish_bytes,
             log_bytes=log_bytes,
+            partition_time=partition_time,
+            publish_time=publish_time,
+            log_time=log_time,
         )
         self.history.append(stats)
+        if trace is not None:
+            trace.complete_perf(
+                "tick", "tick", start, start + stats.total_time,
+                epoch=epoch, tick=self.tick_count, units=stats.units,
+                effect_rows=stats.effect_rows,
+            )
+        if self.metrics.enabled:
+            self._observe_tick(stats)
+        if self.watchdog is not None and self.watchdog.observe(
+            self.tick_count,
+            stats.total_time,
+            {
+                "partition": partition_time,
+                "maintenance": maintenance_time,
+                "decision": decision_time,
+                "aoe": aoe_time,
+                "combine": combine_time,
+                "mechanics": mechanics_time,
+                "publish": publish_time,
+                "log_append": log_time,
+            },
+        ):
+            self._m_slow_ticks.inc()
+            if trace is not None:
+                trace.instant(
+                    "slow_tick", "watchdog", epoch=epoch,
+                    total_ms=round(stats.total_time * 1e3, 3),
+                    ewma_ms=round(self.watchdog.ewma * 1e3, 3),
+                )
         return stats
+
+    def _observe_tick(self, stats: TickStats) -> None:
+        """Record one tick's :class:`TickStats` into the registry --
+        the same numbers, so the registry is a view, not a second
+        measurement."""
+        self._m_ticks.inc()
+        self._m_epoch.set(stats.tick + 1)
+        self._m_units.set(stats.units)
+        self._m_effect_rows.inc(stats.effect_rows)
+        self._m_aoe_records.inc(stats.aoe_records)
+        self._m_tick_seconds.observe(stats.total_time)
+        stage = self._m_stage
+        stage["partition"].observe(stats.partition_time)
+        stage["maintenance"].observe(stats.maintenance_time)
+        stage["decision"].observe(stats.decision_time)
+        stage["aoe"].observe(stats.aoe_time)
+        stage["combine"].observe(stats.combine_time)
+        stage["mechanics"].observe(stats.mechanics_time)
+        stage["publish"].observe(stats.publish_time)
+        stage["log_append"].observe(stats.log_time)
+        self._m_broadcast_bytes.inc(stats.broadcast_bytes)
+        self._m_publish_bytes.inc(stats.publish_bytes)
+        self._m_log_bytes.inc(stats.log_bytes)
+        if self.indexed:
+            self.agg_eval.index_counters()  # refreshes the index gauges
 
     def run(self, ticks: int) -> list[TickStats]:
         """Simulate *ticks* clock ticks; returns their stats."""

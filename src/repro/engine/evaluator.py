@@ -60,6 +60,7 @@ from ..indexes.composite import GroupAggIndex
 from ..indexes.hash_layer import PartitionedIndex
 from ..indexes.kdtree import KDTree
 from ..indexes.sweepline import sweep_arg_minmax
+from ..obs import NULL_REGISTRY, StatCounters
 from ..sgl import ast
 from ..sgl.builtins import AggregateFunction, FunctionRegistry
 from ..sgl.evalterm import EvalContext, eval_cond, eval_term
@@ -176,8 +177,61 @@ class IndexedEvaluator:
         self._delta_cost: float | None = None
         self._pending_build_seconds = 0.0
         self._pending_build_rows = 0
-        # instrumentation
-        self.stats: dict[str, int] = {}
+        # instrumentation: a plain dict to callers, optionally backed by
+        # registry counters (bind_metrics) so the decision counters show
+        # up in Prometheus exposition without a second bookkeeping path
+        self.stats = StatCounters(prefix="evaluator")
+        self._m_predicted_delta = NULL_REGISTRY.gauge("_")
+        self._m_predicted_rebuild = NULL_REGISTRY.gauge("_")
+        self._m_delta_apply = NULL_REGISTRY.histogram("_")
+        self._m_prediction_error = NULL_REGISTRY.histogram("_")
+        self._m_depth_rebuilds = NULL_REGISTRY.gauge("_")
+
+    # -- observability ------------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Back ``stats`` and the cost-model diagnostics with *registry*.
+
+        The EWMA gauges record the most recent predicted delta/rebuild
+        seconds next to the observed delta-apply seconds, so an operator
+        can see whether the "auto" policy's crossover is calibrated.
+        """
+        self.stats.bind(registry, "evaluator")
+        self._m_predicted_delta = registry.gauge(
+            "evaluator_predicted_delta_seconds"
+        )
+        self._m_predicted_rebuild = registry.gauge(
+            "evaluator_predicted_rebuild_seconds"
+        )
+        self._m_delta_apply = registry.histogram(
+            "evaluator_delta_apply_seconds"
+        )
+        self._m_prediction_error = registry.histogram(
+            "evaluator_delta_prediction_error_seconds"
+        )
+        self._m_depth_rebuilds = registry.gauge("index_depth_rebuilds")
+
+    def index_counters(self) -> dict[str, int]:
+        """Live structure counters for the currently retained indexes.
+
+        ``depth_rebuilds`` sums :class:`~repro.indexes.kdtree.KDTree`
+        depth-triggered rebuilds over every retained k-d group -- the
+        signal that overlay churn is forcing tree reconstruction.
+        """
+        depth_rebuilds = 0
+        kd_groups = 0
+        for index in self._kd_index.values():
+            for sub in index.groups.values():
+                kd_groups += 1
+                depth_rebuilds += getattr(sub, "depth_rebuilds", 0)
+        counters = {
+            "depth_rebuilds": depth_rebuilds,
+            "kd_groups": kd_groups,
+            "div_indexes": len(self._div_index),
+            "row_indexes": len(self._row_index),
+        }
+        self._m_depth_rebuilds.set(depth_rebuilds)
+        return counters
 
     # -- tick lifecycle ---------------------------------------------------------
 
@@ -220,7 +274,14 @@ class IndexedEvaluator:
             self._hints = new_hints
             t0 = time.perf_counter()
             self._apply_delta(delta)
-            self._observe_delta_cost(time.perf_counter() - t0, delta.changed)
+            dt = time.perf_counter() - t0
+            if self._delta_cost is not None:
+                # predicted-vs-actual before the sample updates the EWMA
+                self._m_prediction_error.observe(
+                    dt - delta.changed * self._delta_cost
+                )
+            self._observe_delta_cost(dt, delta.changed)
+            self._m_delta_apply.observe(dt)
             self._bump("delta_ticks")
             self._drop_overgrown()
         else:
@@ -301,10 +362,11 @@ class IndexedEvaluator:
                 # retained structures only while the predicted delta cost
                 # undercuts the predicted from-scratch build
                 self._bump("auto_ewma_decisions")
-                return (
-                    delta.changed * self._delta_cost
-                    <= delta.base_size * self._rebuild_cost
-                )
+                predicted_delta = delta.changed * self._delta_cost
+                predicted_rebuild = delta.base_size * self._rebuild_cost
+                self._m_predicted_delta.set(predicted_delta)
+                self._m_predicted_rebuild.set(predicted_rebuild)
+                return predicted_delta <= predicted_rebuild
             # bootstrap (and auto_policy="threshold"): the original
             # single changed-fraction rule
             return delta.fraction <= self.incremental_threshold
@@ -542,7 +604,7 @@ class IndexedEvaluator:
                 self._bump("overlay_rebuilds")
 
     def _bump(self, counter: str) -> None:
-        self.stats[counter] = self.stats.get(counter, 0) + 1
+        self.stats.bump(counter)
 
     # -- static compilation -------------------------------------------------------
 

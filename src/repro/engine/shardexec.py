@@ -90,6 +90,7 @@ from ..env.sharding import (
     make_sharder,
 )
 from ..env.table import EnvironmentTable, TableDelta
+from ..obs import NULL_REGISTRY, TID_WORKER_BASE, RegistryStats
 from ..serve.transport import (
     DEFAULT_MAX_FRAME,
     PipeTransport,
@@ -994,21 +995,31 @@ class _WorkerHandle:
     epoch: int = NO_REPLICA
 
 
-@dataclass
-class PoolStats:
-    """Broadcast/fault counters a :class:`ReplicaWorkerPool` accumulates."""
+class PoolStats(RegistryStats):
+    """Broadcast/fault counters a :class:`ReplicaWorkerPool` accumulates.
 
-    delta_broadcasts: int = 0
-    snapshot_broadcasts: int = 0
-    stale_snapshots: int = 0
-    respawns: int = 0
-    #: Remote sessions re-established after a dropped connection.
-    reconnects: int = 0
-    #: Mid-tick probe/action evaluations forwarded by scoped workers.
-    remote_evals: int = 0
-    bytes_broadcast: int = 0
-    ticks: int = 0
-    last_tick_bytes: int = 0
+    Attribute reads and writes behave exactly like the dataclass this
+    replaces; when the pool is built with a metrics registry each field
+    is a registry cell (the ``worker_*`` series), so the old accessors
+    are views over the exported metrics.  ``reconnects`` counts remote
+    sessions re-established after a dropped connection; ``remote_evals``
+    counts mid-tick probe/action evaluations forwarded by scoped
+    workers; ``last_tick_bytes`` is the most recent tick's broadcast
+    payload.
+    """
+
+    _PREFIX = "worker"
+    _COUNTER_FIELDS = (
+        "delta_broadcasts",
+        "snapshot_broadcasts",
+        "stale_snapshots",
+        "respawns",
+        "reconnects",
+        "remote_evals",
+        "bytes_broadcast",
+        "ticks",
+    )
+    _GAUGE_FIELDS = {"last_tick_bytes": 0}
 
 
 @dataclass
@@ -1056,13 +1067,21 @@ class ReplicaWorkerPool:
         max_frame: int = DEFAULT_MAX_FRAME,
         io_timeout: float | None = None,
         connect_timeout: float = 10.0,
+        metrics=None,
+        trace=None,
     ):
         self._factory = factory
         self._payload = payload
         self._max_frame = max_frame
         self._io_timeout = io_timeout
         self._connect_timeout = connect_timeout
-        self.stats = PoolStats()
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._trace = trace
+        self.stats = PoolStats(metrics)
+        # per-worker instruments / trace tracks, resolved lazily
+        self._m_rtt: dict[int, object] = {}
+        self._m_bytes: dict[int, object] = {}
+        self._named_tids: set[int] = set()
         if endpoints is not None:
             self._endpoints = [WorkerEndpoint.parse(e) for e in endpoints]
             if not self._endpoints:
@@ -1079,6 +1098,33 @@ class ReplicaWorkerPool:
             self._endpoints = None
             self._ctx = mp_context
             self.workers = [self._spawn() for _ in range(num_workers)]
+
+    # -- per-worker observability -------------------------------------------------
+
+    def _worker_rtt(self, index: int):
+        """The ``worker_rtt_seconds{worker=i}`` histogram, cached."""
+        inst = self._m_rtt.get(index)
+        if inst is None:
+            inst = self._metrics.histogram("worker_rtt_seconds", worker=index)
+            self._m_rtt[index] = inst
+        return inst
+
+    def _worker_bytes(self, index: int):
+        inst = self._m_bytes.get(index)
+        if inst is None:
+            inst = self._metrics.counter(
+                "worker_broadcast_bytes_total", worker=index
+            )
+            self._m_bytes[index] = inst
+        return inst
+
+    def _worker_tid(self, index: int) -> int:
+        """Worker *index*'s trace track, named on first use."""
+        tid = TID_WORKER_BASE + index
+        if index not in self._named_tids:
+            self._named_tids.add(index)
+            self._trace.thread_name(tid, f"worker {index} round trip")
+        return tid
 
     @property
     def num_workers(self) -> int:
@@ -1160,12 +1206,22 @@ class ReplicaWorkerPool:
         if old.endpoint is not None:
             self.workers[index] = self._connect(old.endpoint)
             self.stats.reconnects += 1
+            if self._trace is not None:
+                self._trace.instant(
+                    "worker_reconnect", "fault",
+                    tid=self._worker_tid(index), worker=index,
+                )
         else:
             if old.process.is_alive():  # pragma: no cover - defensive
                 old.process.terminate()
             old.process.join(timeout=5)
             self.workers[index] = self._spawn()
             self.stats.respawns += 1
+            if self._trace is not None:
+                self._trace.instant(
+                    "worker_respawn", "fault",
+                    tid=self._worker_tid(index), worker=index,
+                )
         return self.workers[index]
 
     # -- the per-tick broadcast ----------------------------------------------------
@@ -1203,6 +1259,9 @@ class ReplicaWorkerPool:
         tick_bytes = 0
         revived: set[int] = set()
         stale_retries: dict[int, int] = {}
+        #: worker index -> perf_counter at its most recent update send;
+        #: the REPLY_OK arrival closes the round-trip span against it.
+        sent_at: dict[int, float] = {}
 
         def send_update(
             worker_index: int, shard_ids: list[int], *, allow_delta: bool
@@ -1230,6 +1289,7 @@ class ReplicaWorkerPool:
                     "--max-frame on the listener) to admit a full snapshot"
                 )
             worker.transport.send((MSG_TICK, blob, tick, shard_ids))
+            sent_at[worker_index] = time.perf_counter()
             # counters record *delivered* updates: a send that raised
             # does not inflate the counts for a blob nobody received
             if use_delta:
@@ -1237,6 +1297,7 @@ class ReplicaWorkerPool:
             else:
                 stats.snapshot_broadcasts += 1
             tick_bytes += len(blob)
+            self._worker_bytes(worker_index).inc(len(blob))
 
         def revive(worker_index: int, shard_ids: list[int]) -> None:
             """Replace a dead worker and snapshot-feed it, once per tick."""
@@ -1296,6 +1357,7 @@ class ReplicaWorkerPool:
                     # coordinator must answer before the worker's tick
                     # reply can arrive
                     stats.remote_evals += 1
+                    t_eval = time.perf_counter()
                     if answer is None:  # pragma: no cover - wiring bug
                         response = (
                             REPLY_EVAL_ERROR,
@@ -1303,6 +1365,13 @@ class ReplicaWorkerPool:
                         )
                     else:
                         response = answer(reply[1])
+                    if self._trace is not None:
+                        self._trace.complete_perf(
+                            "remote_eval", "worker", t_eval,
+                            time.perf_counter(),
+                            tid=self._worker_tid(worker_index),
+                            epoch=epoch, worker=worker_index,
+                        )
                     try:
                         transport.send(response)
                     except (BrokenPipeError, ConnectionError, OSError):
@@ -1320,6 +1389,12 @@ class ReplicaWorkerPool:
                             "snapshot broadcast; replica protocol is broken"
                         )
                     stats.stale_snapshots += 1
+                    if self._trace is not None:
+                        self._trace.instant(
+                            "stale_snapshot", "fault",
+                            tid=self._worker_tid(worker_index),
+                            epoch=epoch, worker=worker_index,
+                        )
                     try:
                         send_update(
                             worker_index, shard_ids, allow_delta=False
@@ -1338,6 +1413,17 @@ class ReplicaWorkerPool:
                         f"coordinator expected {epoch}"
                     )
                 self.workers[worker_index].epoch = acked
+                t_sent = sent_at.get(worker_index)
+                if t_sent is not None:
+                    t_reply = time.perf_counter()
+                    self._worker_rtt(worker_index).observe(t_reply - t_sent)
+                    if self._trace is not None:
+                        self._trace.complete_perf(
+                            "worker_rtt", "worker", t_sent, t_reply,
+                            tid=self._worker_tid(worker_index),
+                            epoch=epoch, worker=worker_index,
+                            shards=len(shard_ids),
+                        )
                 for shard_id, effect_rows, aoe_records in results:
                     out[shard_id] = (effect_rows, aoe_records)
                 del pending[worker_index]

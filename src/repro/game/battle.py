@@ -135,6 +135,16 @@ class BattleSimulation:
         ``"checkpoint"`` | ``"always"``).  A logged battle supports
         crash recovery via :meth:`recover`; :meth:`save` / :meth:`load`
         work with or without a log.
+    metrics / trace_path / slow_tick_factor:
+        The observability knobs of :mod:`repro.obs`.  ``metrics=True``
+        attaches a process-local metrics registry (the :attr:`metrics`
+        property; serve it over HTTP with :meth:`serve_metrics`);
+        *trace_path* records every tick stage, worker round trip,
+        publish fan-out, and epoch-log write as a Chrome trace-event
+        file; *slow_tick_factor* arms the slow-tick watchdog (flag any
+        tick slower than ``factor`` x the EWMA of recent ticks, with a
+        per-stage breakdown).  All three are read-only diagnostics:
+        trajectories are bit-identical with them on or off.
     """
 
     def __init__(
@@ -166,6 +176,9 @@ class BattleSimulation:
         epoch_log: str | None = None,
         epoch_log_checkpoint_every: int = 64,
         epoch_log_fsync: str = "checkpoint",
+        metrics: bool = False,
+        trace_path: str | None = None,
+        slow_tick_factor: float | None = None,
     ):
         self.schema = battle_schema()
         make = uniform_battle if formation == "uniform" else two_army_battle
@@ -211,6 +224,10 @@ class BattleSimulation:
             worker_max_frame=worker_max_frame,
             spectators=spectators,
             spectator_broadcast=spectator_broadcast,
+            # trace_path stays out too: a loaded run re-tracing over the
+            # original trace file would clobber it
+            metrics=metrics,
+            slow_tick_factor=slow_tick_factor,
         )
 
         script_by_type = self.scripts
@@ -244,6 +261,9 @@ class BattleSimulation:
                 worker_factory=battle_worker_game,
                 spectators=spectators,
                 spectator_broadcast=spectator_broadcast,
+                metrics=metrics,
+                trace_path=trace_path,
+                slow_tick_factor=slow_tick_factor,
             ),
         )
         if epoch_log:
@@ -263,6 +283,17 @@ class BattleSimulation:
     def spectator_address(self) -> tuple[str, int] | None:
         """The spectator feed's ``(host, port)`` (``None`` if not serving)."""
         return self.engine.spectator_address
+
+    @property
+    def metrics(self):
+        """The engine's metrics registry (a no-op null registry unless
+        constructed with ``metrics=True``)."""
+        return self.engine.metrics
+
+    def serve_metrics(self, **kwargs) -> tuple[str, int]:
+        """Serve the metrics registry as a Prometheus text endpoint;
+        returns the bound ``(host, port)`` (requires ``metrics=True``)."""
+        return self.engine.serve_metrics(**kwargs)
 
     def spawn_spectator(self, **kwargs):
         """Start a :class:`~repro.serve.spectator.SpectatorReplica`

@@ -1,0 +1,440 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Instruments are plain value cells resolved **once** (at engine/pool/
+writer construction) and mutated on the hot path with ``inc``/``set``/
+``observe`` -- a dict lookup never happens per tick.  When metrics are
+disabled the same call sites hold instruments from :data:`NULL_REGISTRY`
+whose mutators are empty methods: the per-tick cost of disabled
+observability is a no-op method call, with no allocation.
+
+Names follow Prometheus conventions (``repro_tick_total``,
+``repro_stage_seconds``); labels are keyword arguments frozen into the
+instrument identity, so ``registry.counter("x", stage="aoe")`` returns
+the same cell every time.  :meth:`MetricsRegistry.render_prometheus`
+emits the text exposition format, and :func:`serve_prometheus` mounts it
+on a stdlib HTTP endpoint for scraping.
+"""
+
+from __future__ import annotations
+
+import http.server
+import threading
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "RegistryStats",
+    "StatCounters",
+    "serve_prometheus",
+]
+
+
+class Counter:
+    """A monotonically-increasing value cell (resettable only via
+    :meth:`MetricsRegistry.reset` for tests)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A value cell that goes up and down (queue depths, last-epoch)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Streaming count/sum/min/max -- O(1) per observation, no buckets.
+
+    Prometheus exposition renders the ``_count``/``_sum`` pair (enough
+    for rate/mean panels); ``min``/``max`` ride along as gauges because
+    the slow-tick watchdog and bench reports want extremes, not
+    quantiles.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, total={self.total})"
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        pass
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def dec(self, amount=1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+def _key(name: str, labels: Mapping[str, object]) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    Thread-safe for instrument *creation* (publisher and epoch-log
+    writer threads register instruments); mutation of an individual
+    instrument is a plain attribute write, safe under the GIL for the
+    int/float cells used here.
+    """
+
+    enabled = True
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument factories ------------------------------------------
+
+    def _get(self, cls, name: str, labels: Mapping[str, object]):
+        key = _key(name, labels)
+        found = self._instruments.get(key)
+        if found is None:
+            with self._lock:
+                found = self._instruments.setdefault(key, cls())
+        if not isinstance(found, cls):
+            raise TypeError(
+                f"metric {name!r}{dict(labels)} already registered as "
+                f"{type(found).__name__}, requested {cls.__name__}"
+            )
+        return found
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- introspection -------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[str, dict, object]]:
+        for (name, labels), inst in sorted(self._instruments.items()):
+            yield name, dict(labels), inst
+
+    def snapshot(self) -> dict[str, object]:
+        """Flat ``name{label="v"} -> value`` dict (histograms expand to
+        ``_count``/``_sum``/``_min``/``_max``)."""
+        out: dict[str, object] = {}
+        for name, labels, inst in self:
+            series = _series_name(name, labels)
+            if isinstance(inst, Histogram):
+                out[f"{series}:count"] = inst.count
+                out[f"{series}:sum"] = inst.total
+                if inst.count:
+                    out[f"{series}:min"] = inst.min
+                    out[f"{series}:max"] = inst.max
+            else:
+                out[series] = inst.value
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    # -- exposition ----------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for name, labels, inst in self:
+            full = f"{self.namespace}_{name}"
+            if isinstance(inst, Histogram):
+                if full not in seen_types:
+                    seen_types.add(full)
+                    lines.append(f"# TYPE {full} summary")
+                label_txt = _labels_txt(labels)
+                lines.append(f"{full}_count{label_txt} {inst.count}")
+                lines.append(f"{full}_sum{label_txt} {_fmt(inst.total)}")
+            else:
+                if full not in seen_types:
+                    seen_types.add(full)
+                    lines.append(f"# TYPE {full} {inst.kind}")
+                lines.append(
+                    f"{full}{_labels_txt(labels)} {_fmt(inst.value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every factory returns a shared null
+    instrument whose mutators do nothing.  One instance
+    (:data:`NULL_REGISTRY`) is shared process-wide so holding handles
+    from it costs no memory per engine."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter()
+        self._gauge = _NullGauge()
+        self._histogram = _NullHistogram()
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._histogram
+
+    def __iter__(self):
+        return iter(())
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _labels_txt(labels: Mapping[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace(
+        "\n", r"\n"
+    )
+
+
+def _series_name(name: str, labels: Mapping[str, object]) -> str:
+    return name + _labels_txt(labels)
+
+
+class StatCounters(dict):
+    """A ``dict[str, int]`` of counters that write through to a registry.
+
+    Drop-in replacement for the ad-hoc ``self.stats`` dicts
+    (:class:`~repro.engine.evaluator.IndexedEvaluator`,
+    :class:`~repro.serve.queries.QueryEngine`): reads, ``.get``,
+    ``dict(...)``, iteration, and equality all behave exactly like the
+    plain dict they replace, while every mutation also lands in the
+    bound registry under ``<prefix>_<key>`` -- the compatibility bridge
+    that makes the old accessors registry-backed views.
+    """
+
+    __slots__ = ("_registry", "_prefix", "_cells")
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 prefix: str = "stat") -> None:
+        super().__init__()
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self._prefix = prefix
+        self._cells: dict[str, Counter] = {}
+
+    def bind(self, registry: MetricsRegistry, prefix: str | None = None):
+        """Re-bind to *registry*, exporting already-accumulated values."""
+        self._registry = registry
+        if prefix is not None:
+            self._prefix = prefix
+        self._cells = {}
+        for key, value in self.items():
+            cell = registry.counter(f"{self._prefix}_{key}")
+            cell.value = value
+            self._cells[key] = cell
+        return self
+
+    def _cell(self, key: str) -> Counter:
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._registry.counter(f"{self._prefix}_{key}")
+            self._cells[key] = cell
+        return cell
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        value = dict.get(self, key, 0) + amount
+        dict.__setitem__(self, key, value)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cell(key)
+        cell.value = value
+
+    def __setitem__(self, key, value) -> None:
+        dict.__setitem__(self, key, value)
+        self._cell(key).value = value
+
+    def __reduce__(self):
+        # registries hold locks: pickle as the plain numbers
+        return (dict, (), None, None, iter(self.items()))
+
+
+class RegistryStats:
+    """Attribute-style stats object whose fields live in a registry.
+
+    Base for the ad-hoc counter dataclasses (``PoolStats``,
+    ``PublisherStats``, ``EpochLogStats``): attribute reads and writes
+    (including ``stats.respawns += 1``) keep working exactly as before,
+    but each field is a :class:`Counter`/:class:`Gauge` cell -- shared
+    with the metrics registry when one is bound at construction, private
+    otherwise -- so the old accessors become registry-backed views with
+    no second store to drift.
+    """
+
+    _PREFIX = "stats"
+    _COUNTER_FIELDS: tuple[str, ...] = ()
+    #: field -> initial value (gauges may start below zero, e.g.
+    #: NO_REPLICA epoch sentinels).
+    _GAUGE_FIELDS: Mapping[str, int] = {}
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        live = registry is not None and registry.enabled
+        cells: dict[str, Counter | Gauge] = {}
+        for name in self._COUNTER_FIELDS:
+            cells[name] = (
+                registry.counter(f"{self._PREFIX}_{name}") if live
+                else Counter()
+            )
+        for name, initial in self._GAUGE_FIELDS.items():
+            cell = (
+                registry.gauge(f"{self._PREFIX}_{name}") if live else Gauge()
+            )
+            cell.value = initial
+            cells[name] = cell
+        object.__setattr__(self, "_cells", cells)
+
+    def __getattr__(self, name: str):
+        try:
+            return object.__getattribute__(self, "_cells")[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value) -> None:
+        cell = object.__getattribute__(self, "_cells").get(name)
+        if cell is None:
+            object.__setattr__(self, name, value)
+        else:
+            cell.value = value
+
+    def as_dict(self) -> dict[str, int]:
+        cells = object.__getattribute__(self, "_cells")
+        return {name: cell.value for name, cell in cells.items()}
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={value}" for name, value in self.as_dict().items()
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class _PrometheusHandler(http.server.BaseHTTPRequestHandler):
+    registry: MetricsRegistry = NULL_REGISTRY
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        if self.path.rstrip("/") not in ("", "/metrics"):
+            self.send_error(404)
+            return
+        body = self.registry.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # scrapes must not spam stderr
+        pass
+
+
+def serve_prometheus(
+    registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0
+):
+    """Start a daemon-thread HTTP server exposing *registry* at
+    ``/metrics``; returns ``(server, (host, port))``.  Call
+    ``server.shutdown()`` to stop it."""
+    handler = type(
+        "_BoundPrometheusHandler", (_PrometheusHandler,),
+        {"registry": registry},
+    )
+    server = http.server.ThreadingHTTPServer((host, port), handler)
+    thread = threading.Thread(
+        target=server.serve_forever, name="prometheus-exposition",
+        daemon=True,
+    )
+    thread.start()
+    return server, server.server_address

@@ -35,7 +35,8 @@ import os
 import pickle
 import queue
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 from ..env.sharding import (
     NO_REPLICA,
@@ -47,6 +48,7 @@ from ..env.sharding import (
     delta_blob,
     snapshot_blob,
 )
+from ..obs import NULL_REGISTRY, TID_LOG, TID_MAIN, RegistryStats
 from .framing import (
     FILE_HEADER,
     REC_DELTA,
@@ -73,20 +75,29 @@ class EpochLogError(RuntimeError):
     """The epoch log failed (I/O error, unusable or corrupt contents)."""
 
 
-@dataclass
-class EpochLogStats:
-    """Counters of one writer's lifetime (caller-thread fields only)."""
+class EpochLogStats(RegistryStats):
+    """Counters of one writer's lifetime.
 
-    records: int = 0
-    snapshot_records: int = 0
-    delta_records: int = 0
-    state_records: int = 0
-    bytes_enqueued: int = 0
-    #: Updated by the background thread; equals ``bytes_enqueued`` after
-    #: a ``flush()``.
-    bytes_written: int = 0
-    last_epoch: int = NO_REPLICA
-    last_checkpoint_epoch: int = NO_REPLICA
+    Attribute reads and writes behave exactly like the dataclass this
+    replaces; with a metrics registry bound at construction each field
+    is a registry cell (the ``epochlog_*`` series).  Caller-thread
+    fields except ``bytes_written``, which the background thread updates
+    and equals ``bytes_enqueued`` after a ``flush()``.
+    """
+
+    _PREFIX = "epochlog"
+    _COUNTER_FIELDS = (
+        "records",
+        "snapshot_records",
+        "delta_records",
+        "state_records",
+        "bytes_enqueued",
+        "bytes_written",
+    )
+    _GAUGE_FIELDS = {
+        "last_epoch": NO_REPLICA,
+        "last_checkpoint_epoch": NO_REPLICA,
+    }
 
 
 class EpochLogWriter:
@@ -114,6 +125,8 @@ class EpochLogWriter:
         fsync: str = "checkpoint",
         background: bool = True,
         resume: bool = False,
+        metrics=None,
+        trace=None,
     ):
         if checkpoint_every < 1:
             raise ValueError(
@@ -126,7 +139,14 @@ class EpochLogWriter:
         self.path = os.fspath(path)
         self.checkpoint_every = checkpoint_every
         self.fsync = fsync
-        self.stats = EpochLogStats()
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._trace = trace
+        if trace is not None:
+            trace.thread_name(TID_LOG, "epoch log writer")
+        self._m_queue_depth = registry.gauge("epochlog_queue_depth")
+        self._m_fsync_seconds = registry.histogram("epochlog_fsync_seconds")
+        self._m_write_seconds = registry.histogram("epochlog_write_seconds")
+        self.stats = EpochLogStats(metrics)
         self._error: BaseException | None = None
         self._closed = False
         fresh = True
@@ -220,14 +240,22 @@ class EpochLogWriter:
         self._raise_if_failed()
         if self._closed:
             raise EpochLogError(f"epoch log {self.path!r} is closed")
+        trace = self._trace
+        t0 = time.perf_counter() if trace is not None else 0.0
         buf = encode_record(rtype, epoch, payload)
+        if trace is not None:
+            trace.complete_perf(
+                "log_encode", "epochlog", t0, time.perf_counter(),
+                tid=TID_MAIN, epoch=epoch, bytes=len(buf),
+            )
         want_sync = sync or self.fsync == "always" or (
             self.fsync == "checkpoint" and rtype == REC_SNAPSHOT
         )
         if self._queue is not None:
-            self._queue.put((buf, want_sync))
+            self._queue.put((buf, want_sync, epoch))
+            self._m_queue_depth.set(self._queue.qsize())
         else:
-            self._write(buf, want_sync)
+            self._write(buf, want_sync, epoch)
             self._raise_if_failed()
         self.stats.records += 1
         self.stats.bytes_enqueued += len(buf)
@@ -235,12 +263,29 @@ class EpochLogWriter:
 
     # -- the background writer ----------------------------------------------------
 
-    def _write(self, buf: bytes, sync: bool) -> None:
+    def _write(self, buf: bytes, sync: bool, epoch: int | None = None) -> None:
+        trace = self._trace
         try:
+            t0 = time.perf_counter()
             self._fh.write(buf)
+            t1 = time.perf_counter()
+            self._m_write_seconds.observe(t1 - t0)
+            if trace is not None:
+                trace.complete_perf(
+                    "log_write", "epochlog", t0, t1,
+                    tid=TID_LOG, epoch=epoch, bytes=len(buf),
+                )
             if sync:
+                t0 = time.perf_counter()
                 self._fh.flush()
                 os.fsync(self._fh.fileno())
+                t1 = time.perf_counter()
+                self._m_fsync_seconds.observe(t1 - t0)
+                if trace is not None:
+                    trace.complete_perf(
+                        "log_fsync", "epochlog", t0, t1,
+                        tid=TID_LOG, epoch=epoch,
+                    )
             self.stats.bytes_written += len(buf)
         except BaseException as exc:  # noqa: BLE001 - remembered, re-raised
             self._error = exc
@@ -249,6 +294,7 @@ class EpochLogWriter:
         q = self._queue
         while True:
             item = q.get()
+            self._m_queue_depth.set(q.qsize())
             try:
                 if item is None:
                     return

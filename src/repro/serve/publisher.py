@@ -35,8 +35,10 @@ tick loop.
 
 from __future__ import annotations
 
+import logging
 import socket
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 from ..env.sharding import (
     NO_REPLICA,
@@ -44,27 +46,40 @@ from ..env.sharding import (
     delta_blob,
     snapshot_blob,
 )
+from ..obs import NULL_REGISTRY, TID_PUBLISHER, RegistryStats
 from .transport import DEFAULT_MAX_FRAME, FrameError, SocketTransport
+
+logger = logging.getLogger("repro.serve.publisher")
 
 #: Subscriber -> publisher message tags.
 SUB_STALE = "sub_stale"
 
 
-@dataclass
-class PublisherStats:
-    """Publish/fault counters a :class:`ReplicaPublisher` accumulates."""
+class PublisherStats(RegistryStats):
+    """Publish/fault counters a :class:`ReplicaPublisher` accumulates.
 
-    ticks: int = 0
-    delta_sends: int = 0
-    snapshot_sends: int = 0
-    #: STALE reports that downgraded a subscriber to the snapshot path.
-    stale_snapshots: int = 0
-    subscribers_accepted: int = 0
-    #: Subscribers dropped for transport failure or protocol violation.
-    drops: int = 0
-    frame_errors: int = 0
-    bytes_sent: int = 0
-    last_tick_bytes: int = 0
+    Attribute reads and writes behave exactly like the dataclass this
+    replaces; with a metrics registry bound at construction each field
+    is a registry cell (the ``publisher_*`` series).  ``stale_snapshots``
+    counts STALE reports that downgraded a subscriber to the snapshot
+    path; ``drops`` counts subscribers removed for transport failure or
+    protocol violation (also exposed per-reason as
+    ``publisher_drops_total{reason=...}`` and logged at WARNING -- a
+    dead or byzantine peer is never dropped silently).
+    """
+
+    _PREFIX = "publisher"
+    _COUNTER_FIELDS = (
+        "ticks",
+        "delta_sends",
+        "snapshot_sends",
+        "stale_snapshots",
+        "subscribers_accepted",
+        "drops",
+        "frame_errors",
+        "bytes_sent",
+    )
+    _GAUGE_FIELDS = {"last_tick_bytes": 0}
 
 
 @dataclass
@@ -95,13 +110,21 @@ class ReplicaPublisher:
         max_frame: int = DEFAULT_MAX_FRAME,
         send_timeout: float = 5.0,
         backlog: int = 16,
+        metrics=None,
+        trace=None,
     ):
         if broadcast not in ("delta", "snapshot"):
             raise ValueError(f"unknown broadcast mode {broadcast!r}")
         self.broadcast = broadcast
         self.max_frame = max_frame
         self.send_timeout = send_timeout
-        self.stats = PublisherStats()
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._trace = trace
+        if trace is not None:
+            trace.thread_name(TID_PUBLISHER, "spectator publisher")
+        self._m_drop_reasons: dict[str, object] = {}
+        self._m_peer_bytes: dict[tuple, object] = {}
+        self.stats = PublisherStats(metrics)
         self._subscribers: list[_Subscriber] = []
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -114,6 +137,26 @@ class ReplicaPublisher:
     @property
     def num_subscribers(self) -> int:
         return len(self._subscribers)
+
+    # -- per-peer observability ---------------------------------------------------
+
+    def _drop_counter(self, reason: str):
+        inst = self._m_drop_reasons.get(reason)
+        if inst is None:
+            inst = self._metrics.counter("publisher_drops_total",
+                                         reason=reason)
+            self._m_drop_reasons[reason] = inst
+        return inst
+
+    def _peer_bytes(self, address: tuple):
+        inst = self._m_peer_bytes.get(address)
+        if inst is None:
+            inst = self._metrics.counter(
+                "publisher_subscriber_bytes_total",
+                peer=f"{address[0]}:{address[1]}",
+            )
+            self._m_peer_bytes[address] = inst
+        return inst
 
     # -- subscriber lifecycle -----------------------------------------------------
 
@@ -150,10 +193,10 @@ class ReplicaPublisher:
                 message = subscriber.transport.recv()
             except FrameError:
                 self.stats.frame_errors += 1
-                self._drop(subscriber)
+                self._drop(subscriber, reason="frame_error")
                 return
             except (EOFError, OSError):
-                self._drop(subscriber)
+                self._drop(subscriber, reason="transport_error")
                 return
             if (
                 isinstance(message, tuple)
@@ -168,10 +211,12 @@ class ReplicaPublisher:
                 # a subscriber speaking an unknown control vocabulary is
                 # a protocol violation, same as a bad frame
                 self.stats.frame_errors += 1
-                self._drop(subscriber)
+                self._drop(subscriber, reason="protocol_violation")
                 return
 
-    def _drop(self, subscriber: _Subscriber) -> None:
+    def _drop(
+        self, subscriber: _Subscriber, *, reason: str = "transport_error"
+    ) -> None:
         try:
             subscriber.transport.close()
         except OSError:  # pragma: no cover - already closed
@@ -179,6 +224,18 @@ class ReplicaPublisher:
         if subscriber in self._subscribers:
             self._subscribers.remove(subscriber)
             self.stats.drops += 1
+            self._drop_counter(reason).inc()
+            logger.warning(
+                "dropped spectator subscriber %s:%s (%s); a respawned "
+                "replica re-joins as a late joiner and snapshot-catches-up",
+                subscriber.address[0], subscriber.address[1], reason,
+            )
+            if self._trace is not None:
+                self._trace.instant(
+                    "subscriber_drop", "fault", tid=TID_PUBLISHER,
+                    peer=f"{subscriber.address[0]}:{subscriber.address[1]}",
+                    reason=reason,
+                )
 
     # -- the publish stage --------------------------------------------------------
 
@@ -234,16 +291,26 @@ class ReplicaPublisher:
             ):
                 continue  # already current; nothing new to ship
             blob = delta_bytes() if use_delta else snapshot_bytes()
+            trace = self._trace
+            t0 = time.perf_counter() if trace is not None else 0.0
             try:
                 sent = subscriber.transport.send_bytes(blob)
             except (EOFError, OSError):
                 # dropped socket (possibly mid-delta on the peer side):
                 # remove the subscriber; a respawned replica re-joins as
                 # a late joiner and snapshot-catches-up
-                self._drop(subscriber)
+                self._drop(subscriber, reason="send_failed")
                 continue
+            if trace is not None:
+                trace.complete_perf(
+                    "publish_send", "publisher", t0, time.perf_counter(),
+                    tid=TID_PUBLISHER, epoch=epoch,
+                    peer=f"{subscriber.address[0]}:{subscriber.address[1]}",
+                    bytes=sent, mode="delta" if use_delta else "snapshot",
+                )
             subscriber.epoch = epoch
             tick_bytes += sent
+            self._peer_bytes(subscriber.address).inc(sent)
             if use_delta:
                 stats.delta_sends += 1
             else:

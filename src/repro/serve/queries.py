@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, Mapping
 from ..engine.evaluator import IndexedEvaluator
 from ..env.table import EnvironmentTable, TableDelta
 from ..indexes.kdtree import KDTree
+from ..obs import StatCounters
 from ..sgl.builtins import AggregateFunction, FunctionRegistry
 from ..sgl.errors import SglError
 from ..sgl.evalterm import EvalContext
@@ -211,7 +212,9 @@ class QueryEngine:
         self._by_key: dict[object, dict[str, object]] | None = None
         self._sgl: dict[str, AggregateFunction] = {}
         self._knn: _RetainedTree | None = None
-        self.stats: dict[str, int] = {}
+        # a plain dict to callers; bindable to a metrics registry (the
+        # spectator's REQ_METRICS pull populates one on demand)
+        self.stats = StatCounters(prefix="queries")
 
     # -- state lifecycle ----------------------------------------------------------
 
@@ -441,7 +444,7 @@ class QueryEngine:
         return chosen
 
     def _bump(self, counter: str) -> None:
-        self.stats[counter] = self.stats.get(counter, 0) + 1
+        self.stats.bump(counter)
 
 
 class AuthoritativeQueryService:

@@ -55,6 +55,7 @@ from .transport import DEFAULT_MAX_FRAME, FrameError, SocketTransport
 #: Client -> spectator request tags.
 REQ_QUERY = "query"
 REQ_STATUS = "status"
+REQ_METRICS = "metrics"  # pull-model observability view
 REQ_SET_EPOCH = "set_epoch"  # fault-injection hook (tests/chaos drills)
 REQ_STOP = "stop"
 
@@ -215,6 +216,18 @@ class _SpectatorServer:
                 )
             )
             return True
+        if tag == REQ_METRICS:
+            registry = self._metrics_registry()
+            transport.send(
+                (
+                    RESP_OK,
+                    {
+                        "snapshot": registry.snapshot(),
+                        "prometheus": registry.render_prometheus(),
+                    },
+                )
+            )
+            return True
         if tag == REQ_SET_EPOCH:  # fault injection: pretend to drift
             self.replica.epoch = message[1]
             transport.send((RESP_OK, self.replica.epoch))
@@ -224,6 +237,35 @@ class _SpectatorServer:
             return False
         transport.send((RESP_ERROR, f"unknown request {tag!r}"))
         return True
+
+    def _metrics_registry(self):
+        """Build the pull-model metrics view of this replica.
+
+        The replica's hot path (feed application, query answering)
+        records nothing extra; each ``REQ_METRICS`` populates a fresh
+        registry from the counters the server already keeps -- zero
+        steady-state cost, paid only by the scraper.
+        """
+        from ..obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.gauge("spectator_epoch").set(self.replica.epoch)
+        registry.gauge("spectator_rows").set(len(self.replica.rows))
+        registry.gauge("spectator_feed_alive").set(int(self.feed_alive))
+        registry.counter("spectator_updates_applied_total").inc(
+            self.updates_applied
+        )
+        registry.counter("spectator_snapshots_applied_total").inc(
+            self.snapshots_applied
+        )
+        registry.counter("spectator_stale_reports_total").inc(
+            self.stale_reports
+        )
+        for key, value in self.engine.stats.items():
+            registry.counter(f"queries_{key}").value = value
+        for key, value in self.engine.evaluator.stats.items():
+            registry.counter(f"evaluator_{key}").value = value
+        return registry
 
     def _try_answer(self, transport: SocketTransport, request) -> bool:
         """Answer now if the pinned epoch allows it; True when replied."""
@@ -550,6 +592,13 @@ class SpectatorClient:
 
     def status(self) -> dict:
         return self._round_trip((REQ_STATUS,))
+
+    def metrics(self) -> dict:
+        """The replica's live metrics view: ``{"snapshot": {series ->
+        value}, "prometheus": <text exposition>}`` -- populated on
+        demand server-side, so scraping costs the replica nothing
+        between requests."""
+        return self._round_trip((REQ_METRICS,))
 
     def debug_set_epoch(self, epoch: int) -> int:
         """Fault injection: drift the replica's believed epoch."""

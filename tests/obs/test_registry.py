@@ -1,0 +1,202 @@
+"""The metrics registry: instruments, labels, rendering, and the null path."""
+
+import pickle
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    RegistryStats,
+    StatCounters,
+    serve_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("widgets_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        g.inc(2)
+        g.dec()
+        assert g.value == 8
+
+    def test_histogram_aggregates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds")
+        for v in (0.5, 1.5, 1.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(3.0)
+        assert h.min == 0.5
+        assert h.max == 1.5
+        assert h.mean == pytest.approx(1.0)
+
+    def test_empty_histogram_mean(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", shard=1) is reg.counter("a", shard=1)
+        assert reg.counter("a", shard=1) is not reg.counter("a", shard=2)
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x=1, y=2) is reg.counter("a", y=2, x=1)
+
+    def test_snapshot_flattens(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g", shard=0).set(9)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap['g{shard="0"}'] == 9
+        assert snap["h:count"] == 1
+        assert snap["h:sum"] == 2.0
+
+    def test_render_prometheus(self):
+        reg = MetricsRegistry(namespace="testns")
+        reg.counter("reqs_total", route="tick").inc(2)
+        reg.gauge("depth").set(5)
+        reg.histogram("lat_seconds").observe(0.25)
+        text = reg.render_prometheus()
+        assert '# TYPE testns_reqs_total counter' in text
+        assert 'testns_reqs_total{route="tick"} 2' in text
+        assert "testns_depth 5" in text
+        # histograms render as Prometheus summaries
+        assert "testns_lat_seconds_count 1" in text
+        assert "testns_lat_seconds_sum 0.25" in text
+        assert text.endswith("\n")
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.reset()
+        assert reg.counter("c").value == 0
+
+
+class TestNullRegistry:
+    def test_disabled_and_shared(self):
+        assert NULL_REGISTRY.enabled is False
+        # the no-op path hands back the same instrument for every name:
+        # nothing accumulates, nothing allocates per call site
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b", x=1)
+        assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+
+    def test_null_instruments_accept_writes(self):
+        NULL_REGISTRY.counter("x").inc(3)
+        NULL_REGISTRY.gauge("x").set(7)
+        NULL_REGISTRY.histogram("x").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.render_prometheus().strip() == ""
+
+
+class TestStatCounters:
+    def test_is_a_dict(self):
+        s = StatCounters(prefix="evaluator")
+        s.bump("full_evals")
+        s.bump("full_evals", 2)
+        assert s["full_evals"] == 3
+        assert s.get("missing", 0) == 0
+        assert dict(s) == {"full_evals": 3}
+        assert s == {"full_evals": 3}
+
+    def test_write_through_to_registry(self):
+        reg = MetricsRegistry()
+        s = StatCounters(prefix="evaluator")
+        s.bump("before_bind")
+        s.bind(reg, "evaluator")
+        s.bump("after_bind", 4)
+        snap = reg.snapshot()
+        # binding mirrors everything already accumulated, then tracks
+        assert snap["evaluator_before_bind"] == 1
+        assert snap["evaluator_after_bind"] == 4
+        s["after_bind"] = 10
+        assert reg.snapshot()["evaluator_after_bind"] == 10
+
+    def test_pickles_as_plain_dict(self):
+        reg = MetricsRegistry()
+        s = StatCounters(prefix="p")
+        s.bind(reg, "p")
+        s.bump("k", 2)
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone == {"k": 2}
+        assert type(clone) is dict
+
+
+class _DemoStats(RegistryStats):
+    _PREFIX = "demo"
+    _COUNTER_FIELDS = ("hits", "misses")
+    _GAUGE_FIELDS = {"depth": -1}
+
+
+class TestRegistryStats:
+    def test_plain_attribute_behaviour(self):
+        s = _DemoStats()
+        assert s.hits == 0
+        assert s.depth == -1
+        s.hits += 3
+        s.depth = 9
+        assert s.hits == 3
+        assert s.depth == 9
+        assert s.as_dict() == {"hits": 3, "misses": 0, "depth": 9}
+
+    def test_registry_backed_cells(self):
+        reg = MetricsRegistry()
+        s = _DemoStats(reg)
+        s.hits += 2
+        s.depth = 4
+        snap = reg.snapshot()
+        assert snap["demo_hits"] == 2
+        assert snap["demo_depth"] == 4
+        # the view and the registry share the same cells
+        assert s.hits == reg.counter("demo_hits").value
+
+    def test_null_registry_falls_back_to_private_cells(self):
+        a = _DemoStats(NULL_REGISTRY)
+        b = _DemoStats(NULL_REGISTRY)
+        a.hits += 5
+        assert a.hits == 5
+        assert b.hits == 0  # not shared through the null instruments
+
+
+class TestServePrometheus:
+    def test_http_scrape(self):
+        reg = MetricsRegistry()
+        reg.counter("ticks_total").inc(12)
+        server, (host, port) = serve_prometheus(reg)
+        try:
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=5
+            ) as resp:
+                assert resp.status == 200
+                body = resp.read().decode()
+            assert "repro_ticks_total 12" in body
+            # scrape reflects live values, not a snapshot at serve time
+            reg.counter("ticks_total").inc()
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=5
+            ) as resp:
+                assert "repro_ticks_total 13" in resp.read().decode()
+            # any other path 404s
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/other", timeout=5
+                )
+        finally:
+            server.shutdown()
+            server.server_close()

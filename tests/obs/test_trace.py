@@ -1,0 +1,106 @@
+"""The Chrome trace-event recorder: format, torn files, thread safety."""
+
+import json
+import threading
+import time
+
+from repro.obs import (
+    TID_LOG,
+    TID_MAIN,
+    TID_WORKER_BASE,
+    TraceRecorder,
+    load_trace,
+)
+
+
+def test_clean_close_is_well_formed_json(tmp_path):
+    path = tmp_path / "trace.json"
+    with TraceRecorder(str(path)) as rec:
+        rec.instant("boot", "test")
+        t0 = time.perf_counter()
+        t1 = time.perf_counter()
+        rec.complete_perf("work", "test", t0, t1, epoch=3, items=2)
+    events = json.loads(path.read_text())  # strict parse, no leniency
+    assert isinstance(events, list)
+    names = [e["name"] for e in events]
+    assert "process_name" in names  # emitted at construction
+    assert "boot" in names and "work" in names
+
+
+def test_complete_perf_carries_epoch_and_args(tmp_path):
+    path = tmp_path / "trace.json"
+    rec = TraceRecorder(str(path))
+    t0 = time.perf_counter()
+    time.sleep(0.01)
+    t1 = time.perf_counter()
+    rec.complete_perf("stage", "tick", t0, t1, tid=TID_LOG, epoch=7, bytes=42)
+    rec.close()
+    (ev,) = [e for e in load_trace(str(path)) if e["name"] == "stage"]
+    assert ev["ph"] == "X"
+    assert ev["tid"] == TID_LOG
+    assert ev["args"]["epoch"] == 7
+    assert ev["args"]["bytes"] == 42
+    # ~10ms in microseconds, on the shared perf_counter clock
+    assert 5_000 < ev["dur"] < 500_000
+    assert ev["ts"] >= 0
+
+
+def test_span_context_manager(tmp_path):
+    path = tmp_path / "trace.json"
+    with TraceRecorder(str(path)) as rec:
+        with rec.span("inner", "test", epoch=1, k="v"):
+            pass
+    (ev,) = [e for e in load_trace(str(path)) if e["name"] == "inner"]
+    assert ev["ph"] == "X"
+    assert ev["args"] == {"k": "v", "epoch": 1}
+
+
+def test_torn_file_loads(tmp_path):
+    path = tmp_path / "trace.json"
+    rec = TraceRecorder(str(path))
+    rec.instant("a", "test")
+    rec.instant("b", "test")
+    rec.flush()  # crash: never closed, no terminator on disk
+    events = load_trace(str(path))
+    assert {"a", "b"} <= {e["name"] for e in events}
+    rec.close()
+
+
+def test_emit_after_close_is_dropped(tmp_path):
+    path = tmp_path / "trace.json"
+    rec = TraceRecorder(str(path))
+    rec.close()
+    rec.instant("late", "test")  # must not raise, must not corrupt
+    events = json.loads(path.read_text())
+    assert "late" not in {e["name"] for e in events}
+
+
+def test_thread_name_tracks(tmp_path):
+    path = tmp_path / "trace.json"
+    with TraceRecorder(str(path)) as rec:
+        rec.thread_name(TID_WORKER_BASE + 2, "worker 2 round trip")
+    metas = [
+        e for e in load_trace(str(path))
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    by_tid = {e["tid"]: e["args"]["name"] for e in metas}
+    assert by_tid[TID_MAIN] == "tick pipeline"
+    assert by_tid[TID_WORKER_BASE + 2] == "worker 2 round trip"
+
+
+def test_concurrent_emit_stays_well_formed(tmp_path):
+    path = tmp_path / "trace.json"
+    rec = TraceRecorder(str(path))
+
+    def emit(tid):
+        for i in range(50):
+            rec.instant(f"t{tid}-{i}", "test", tid=tid)
+
+    threads = [threading.Thread(target=emit, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    rec.close()
+    events = json.loads(path.read_text())
+    assert len([e for e in events if e["ph"] == "i"]) == 200
