@@ -65,7 +65,9 @@ class PlanExecutor:
         self.agg_eval = agg_eval
         self.rng = rng
         self.scan_rows = env.rows if scan_rows is None else scan_rows
-        self._memo: dict[int, object] = {}
+        # keyed by id(plan); the entry pins the plan node so a
+        # collected plan's recycled id can never alias a stale result
+        self._memo: dict[int, tuple[Plan, object]] = {}
         #: number of operator evaluations actually performed (the plan
         #: tests use this to show rule-9 sharing pays off)
         self.ops_evaluated = 0
@@ -88,9 +90,9 @@ class PlanExecutor:
     # -- unit streams -------------------------------------------------------------
 
     def _units(self, plan: Plan) -> _UnitStream:
-        cached = self._memo.get(id(plan))
-        if cached is not None:
-            return cached  # shared subplan: evaluated once (rule 9)
+        entry = self._memo.get(id(plan))
+        if entry is not None and entry[0] is plan:
+            return entry[1]  # shared subplan: evaluated once (rule 9)
         self.ops_evaluated += 1
 
         if isinstance(plan, ScanE):
@@ -124,15 +126,15 @@ class PlanExecutor:
         else:
             raise SglTypeError(f"{plan!r} is not a unit-stream operator")
 
-        self._memo[id(plan)] = result
+        self._memo[id(plan)] = (plan, result)
         return result
 
     # -- effect streams -------------------------------------------------------------
 
     def _effects(self, plan: Plan) -> list[dict[str, object]]:
-        cached = self._memo.get(id(plan))
-        if cached is not None:
-            return cached
+        entry = self._memo.get(id(plan))
+        if entry is not None and entry[0] is plan:
+            return entry[1]
         if not isinstance(plan, Apply):
             raise SglTypeError(
                 f"effect inputs must be Apply nodes, got {plan!r}"
@@ -149,7 +151,7 @@ class PlanExecutor:
             else:
                 bindings = dict(zip(builtin.params, args))
                 out.extend(apply_action_scan(builtin.spec, bindings, ctx))
-        self._memo[id(plan)] = out
+        self._memo[id(plan)] = (plan, out)
         return out
 
     # -- helpers -----------------------------------------------------------------
@@ -160,6 +162,9 @@ class PlanExecutor:
         # the scan parameter binds first so that inlined function
         # parameters and let-columns of the same name shadow it
         bindings: dict[str, object] = {param: row}
+        # reprolint: disable=unsorted-set-iter -- bindings is only ever
+        # key-looked-up (never iterated), so frozenset order cannot leak;
+        # sorting here would cost a per-row sort on the hot path
         for col in cols:
             bindings[col] = row[col]
         return EvalContext(

@@ -49,13 +49,15 @@ def prune_unused_columns(plan: Combine) -> Combine:
     Subtrees pruned under identical requirement sets stay shared, so the
     rule-9 sharing of common prefixes survives the rewrite.
     """
-    memo: dict[tuple[int, frozenset[str]], Plan] = {}
+    # the entry pins the source node so a collected node's recycled id
+    # can never alias a stale pruned subtree
+    memo: dict[tuple[int, frozenset[str]], tuple[Plan, Plan]] = {}
 
     def prune(node: Plan, needed: frozenset[str]) -> Plan:
         key = (id(node), needed)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
+        entry = memo.get(key)
+        if entry is not None and entry[0] is node:
+            return entry[1]
 
         if isinstance(node, ScanE):
             result: Plan = node
@@ -83,7 +85,7 @@ def prune_unused_columns(plan: Combine) -> Combine:
         else:
             raise TypeError(f"cannot prune {node!r}")
 
-        memo[key] = result
+        memo[key] = (node, result)
         return result
 
     inputs = tuple(prune(child, frozenset()) for child in plan.inputs)

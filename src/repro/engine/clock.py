@@ -1024,15 +1024,17 @@ class SimulationEngine:
 
         blobs: dict[tuple, bytes] = {}
         # per-row shard ids, classified once per tick and shared by every
-        # scope's filter (rows == the raw capture's new_rows, when set)
-        shard_id_cache: dict[int, list[int]] = {}
+        # scope's filter (rows == the raw capture's new_rows, when set);
+        # the entry pins the row list so a recycled id cannot alias a
+        # stale classification
+        shard_id_cache: dict[int, tuple[object, list[int]]] = {}
 
         def shard_ids_of(which_rows) -> list[int]:
-            cached = shard_id_cache.get(id(which_rows))
-            if cached is None:
-                cached = [shard_of(row) for row in which_rows]
-                shard_id_cache[id(which_rows)] = cached
-            return cached
+            entry = shard_id_cache.get(id(which_rows))
+            if entry is None or entry[0] is not which_rows:
+                entry = (which_rows, [shard_of(row) for row in which_rows])
+                shard_id_cache[id(which_rows)] = entry
+            return entry[1]
 
         def delta_blob_for(scope):
             if scope is None:
@@ -1246,7 +1248,9 @@ class SimulationEngine:
                     env, hint_pairs, delta=self._pending_delta
                 )
                 if self._parallel:
-                    self.agg_eval.prepare(hinted)
+                    # canonical order: index build sequence must not
+                    # depend on set iteration order
+                    self.agg_eval.prepare(sorted(hinted))
                 t1 = time.perf_counter()
                 maintenance_time += t1 - t0
                 if trace is not None:

@@ -63,6 +63,8 @@ def stable_hash(key: object) -> int:
         if key.is_integer():  # match int/float key interchangeability
             return stable_hash(int(key))
         # non-integral, inf, and nan all hash via their IEEE-754 bits
+        # reprolint: disable=wire-version-constant -- struct here bit-puns
+        # a float for hashing; nothing crosses a wire, so no frame version
         return splitmix64(struct.unpack("<Q", struct.pack("<d", key))[0])
     if isinstance(key, tuple):
         state = 0x5455_504C  # "TUPL"

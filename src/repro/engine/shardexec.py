@@ -748,6 +748,9 @@ def _make_remote(transport: Transport) -> RemoteEval:
 
     def remote(kind: str, name: str, args: list, unit: object) -> object:
         transport.send((REQ_EVAL, (kind, name, args, unit)))
+        # reprolint: disable=recv-frame-guard -- frame errors deliberately
+        # propagate to the worker session loop's EOF/OSError handler,
+        # which tears the whole session down
         reply = transport.recv()
         tag = reply[0]
         if tag == REPLY_EVAL:
@@ -1444,6 +1447,8 @@ class ReplicaWorkerPool:
         """
         worker = self.workers[worker_index]
         worker.transport.send((MSG_SET_EPOCH, epoch))
+        # reprolint: disable=recv-frame-guard -- debug-only fault-injection
+        # helper; a torn frame aborting the chaos drill is the right outcome
         reply = worker.transport.recv()
         if reply[0] != REPLY_EPOCH:  # pragma: no cover - protocol bug
             raise RuntimeError(f"unexpected reply {reply[0]!r}")

@@ -19,12 +19,12 @@ they are verified by property tests in ``tests/env/test_combine.py``.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Callable, Iterable
 
 from .schema import AttributeType, Schema, SchemaError
 from .table import EnvironmentTable
 
-_COMBINE_FUNCS = {
+_COMBINE_FUNCS: dict[AttributeType, Callable[[Any, Any], Any]] = {
     AttributeType.SUM: lambda a, b: a + b,
     AttributeType.MAX: max,
     AttributeType.MIN: min,
@@ -42,7 +42,7 @@ def combine(table: EnvironmentTable) -> EnvironmentTable:
     const_names = schema.const_names
     effect_tags = [(name, schema.tag_of(name)) for name in schema.effect_names]
 
-    groups: dict[tuple, dict[str, object]] = {}
+    groups: dict[tuple[object, ...], dict[str, object]] = {}
     for row in table:
         sig = tuple(row[n] for n in const_names)
         acc = groups.get(sig)
@@ -76,7 +76,7 @@ def combine_all(tables: Iterable[EnvironmentTable], schema: Schema) -> Environme
     const_names = schema.const_names
     effect_tags = [(name, schema.tag_of(name)) for name in schema.effect_names]
 
-    groups: dict[tuple, dict[str, object]] = {}
+    groups: dict[tuple[object, ...], dict[str, object]] = {}
     for table in tables:
         if table.schema != schema:
             raise SchemaError("⊕ requires identical schemas")

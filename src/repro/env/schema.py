@@ -91,7 +91,9 @@ class Schema:
     ``⊕R``.
     """
 
-    def __init__(self, attributes: Iterable[Attribute], key: str = "key"):
+    def __init__(
+        self, attributes: Iterable[Attribute], key: str = "key"
+    ) -> None:
         self._attributes: tuple[Attribute, ...] = tuple(attributes)
         names = [a.name for a in self._attributes]
         if len(set(names)) != len(names):

@@ -46,8 +46,9 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, cast
 
+from .schema import Schema
 from .table import EnvironmentTable, TableDelta
 
 Row = Mapping[str, object]
@@ -107,8 +108,10 @@ def make_sharder(
         width = extent / num_shards
         top = num_shards - 1
 
-        def spatial_shard(row: Row, _w=width, _x=x_attr, _top=top) -> int:
-            shard = int(row[_x] / _w)
+        def spatial_shard(
+            row: Row, _w: float = width, _x: str = x_attr, _top: int = top
+        ) -> int:
+            shard = int(cast(float, row[_x]) / _w)
             if shard < 0:
                 return 0
             return shard if shard < _top else _top
@@ -120,7 +123,10 @@ def make_sharder(
     from ..engine.rng import stable_hash
 
     def hashed_shard(
-        row: Row, _attr=shard_by, _n=num_shards, _hash=stable_hash
+        row: Row,
+        _attr: str = shard_by,
+        _n: int = num_shards,
+        _hash: Callable[[object], int] = stable_hash,
     ) -> int:
         return _hash(row[_attr]) % _n
 
@@ -145,7 +151,7 @@ class ShardedEnvironment:
         flat: EnvironmentTable,
         num_shards: int,
         shard_of: ShardFn,
-    ):
+    ) -> None:
         if num_shards < 1:
             raise ShardingError(f"num_shards must be >= 1, got {num_shards}")
         self.flat = flat
@@ -168,7 +174,7 @@ class ShardedEnvironment:
         self.shards = shards
 
     @property
-    def schema(self):
+    def schema(self) -> Schema:
         return self.flat.schema
 
     def shard(self, i: int) -> EnvironmentTable:
@@ -303,7 +309,7 @@ class ReplicaDelta:
     def changed(self) -> int:
         return len(self.inserted) + len(self.deleted_keys) + len(self.updated)
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[object, ...]:
         # positional reconstruction: the default dataclass pickle ships
         # every field *name* alongside its value, which at quiet-tick
         # delta sizes costs more wire than the delta content itself --
@@ -505,7 +511,7 @@ UPDATE_SCOPED_SNAPSHOT = "scoped_snapshot"
 
 
 def snapshot_blob(
-    epoch: int, rows: list[dict[str, object]], shard_conf: tuple
+    epoch: int, rows: list[dict[str, object]], shard_conf: tuple[object, ...]
 ) -> bytes:
     """Pickle a full-broadcast update once, for fan-out to many holders.
 
@@ -528,7 +534,7 @@ def delta_blob(rd: ReplicaDelta) -> bytes:
 def scoped_snapshot_blob(
     epoch: int,
     rows: list[dict[str, object]],
-    shard_conf: tuple,
+    shard_conf: tuple[object, ...],
     scope: Iterable[int],
     shard_of: ShardFn,
     *,
@@ -638,7 +644,7 @@ class ReplicaTable:
 
     __slots__ = ("key_attr", "rows", "by_key", "order", "epoch")
 
-    def __init__(self, key_attr: str):
+    def __init__(self, key_attr: str) -> None:
         self.key_attr = key_attr
         self.rows: list[dict[str, object]] = []
         self.by_key: dict[object, dict[str, object]] | None = None

@@ -37,7 +37,7 @@ class EnvironmentTable:
         rows: Iterable[Mapping[str, object]] = (),
         *,
         validate: bool = True,
-    ):
+    ) -> None:
         self.schema = schema
         self._rows: list[dict[str, object]] = []
         for row in rows:
@@ -141,8 +141,8 @@ class EnvironmentTable:
 
     # -- comparison ---------------------------------------------------------------
 
-    def _multiset(self) -> dict[tuple, int]:
-        counts: dict[tuple, int] = {}
+    def _multiset(self) -> dict[tuple[object, ...], int]:
+        counts: dict[tuple[object, ...], int] = {}
         names = self.schema.names
         for row in self._rows:
             sig = tuple(row[n] for n in names)
@@ -230,7 +230,7 @@ def diff_by_key(
     delta = TableDelta(base_size=len(new))
     budget = len(new) + len(old) if max_changed is None else max_changed
 
-    seen = set()
+    seen: set[object] = set()
     for row in new.rows:
         k = row[key]
         if k in seen:

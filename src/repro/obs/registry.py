@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import http.server
 import threading
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, TypeVar
 
 __all__ = [
     "Counter",
@@ -58,15 +58,15 @@ class Gauge:
     kind = "gauge"
 
     def __init__(self) -> None:
-        self.value = 0
+        self.value: float = 0
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         self.value = value
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:
         self.value += amount
 
-    def dec(self, amount=1) -> None:
+    def dec(self, amount: float = 1) -> None:
         self.value -= amount
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -88,8 +88,8 @@ class Histogram:
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
-        self.min = None
-        self.max = None
+        self.min: float | None = None
+        self.max: float | None = None
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -117,13 +117,13 @@ class _NullCounter(Counter):
 class _NullGauge(Gauge):
     __slots__ = ()
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         pass
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:
         pass
 
-    def dec(self, amount=1) -> None:
+    def dec(self, amount: float = 1) -> None:
         pass
 
 
@@ -134,7 +134,11 @@ class _NullHistogram(Histogram):
         pass
 
 
-def _key(name: str, labels: Mapping[str, object]) -> tuple:
+_Key = tuple[str, tuple[tuple[str, object], ...]]
+_Instrument = TypeVar("_Instrument", "Counter", "Gauge", "Histogram")
+
+
+def _key(name: str, labels: Mapping[str, object]) -> _Key:
     return (name, tuple(sorted(labels.items())))
 
 
@@ -151,12 +155,17 @@ class MetricsRegistry:
 
     def __init__(self, namespace: str = "repro") -> None:
         self.namespace = namespace
-        self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[_Key, Counter | Gauge | Histogram] = {}
         self._lock = threading.Lock()
 
     # -- instrument factories ------------------------------------------
 
-    def _get(self, cls, name: str, labels: Mapping[str, object]):
+    def _get(
+        self,
+        cls: type[_Instrument],
+        name: str,
+        labels: Mapping[str, object],
+    ) -> _Instrument:
         key = _key(name, labels)
         found = self._instruments.get(key)
         if found is None:
@@ -169,18 +178,20 @@ class MetricsRegistry:
             )
         return found
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         return self._get(Counter, name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return self._get(Gauge, name, labels)
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, **labels: object) -> Histogram:
         return self._get(Histogram, name, labels)
 
     # -- introspection -------------------------------------------------
 
-    def __iter__(self) -> Iterator[tuple[str, dict, object]]:
+    def __iter__(
+        self,
+    ) -> Iterator[tuple[str, dict[str, object], Counter | Gauge | Histogram]]:
         for (name, labels), inst in sorted(self._instruments.items()):
             yield name, dict(labels), inst
 
@@ -243,23 +254,25 @@ class NullRegistry(MetricsRegistry):
         self._gauge = _NullGauge()
         self._histogram = _NullHistogram()
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         return self._counter
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return self._gauge
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, **labels: object) -> Histogram:
         return self._histogram
 
-    def __iter__(self):
+    def __iter__(
+        self,
+    ) -> Iterator[tuple[str, dict[str, object], Counter | Gauge | Histogram]]:
         return iter(())
 
 
 NULL_REGISTRY = NullRegistry()
 
 
-def _fmt(value) -> str:
+def _fmt(value: object) -> str:
     if value is None:
         return "0"
     if isinstance(value, float):
@@ -286,7 +299,7 @@ def _series_name(name: str, labels: Mapping[str, object]) -> str:
     return name + _labels_txt(labels)
 
 
-class StatCounters(dict):
+class StatCounters(dict[str, int]):
     """A ``dict[str, int]`` of counters that write through to a registry.
 
     Drop-in replacement for the ad-hoc ``self.stats`` dicts
@@ -307,7 +320,9 @@ class StatCounters(dict):
         self._prefix = prefix
         self._cells: dict[str, Counter] = {}
 
-    def bind(self, registry: MetricsRegistry, prefix: str | None = None):
+    def bind(
+        self, registry: MetricsRegistry, prefix: str | None = None
+    ) -> "StatCounters":
         """Re-bind to *registry*, exporting already-accumulated values."""
         self._registry = registry
         if prefix is not None:
@@ -334,11 +349,11 @@ class StatCounters(dict):
             cell = self._cell(key)
         cell.value = value
 
-    def __setitem__(self, key, value) -> None:
+    def __setitem__(self, key: str, value: int) -> None:
         dict.__setitem__(self, key, value)
         self._cell(key).value = value
 
-    def __reduce__(self):
+    def __reduce__(self) -> str | tuple[object, ...]:
         # registries hold locks: pickle as the plain numbers
         return (dict, (), None, None, iter(self.items()))
 
@@ -362,36 +377,39 @@ class RegistryStats:
     _GAUGE_FIELDS: Mapping[str, int] = {}
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
-        live = registry is not None and registry.enabled
+        live = registry if registry is not None and registry.enabled else None
         cells: dict[str, Counter | Gauge] = {}
         for name in self._COUNTER_FIELDS:
             cells[name] = (
-                registry.counter(f"{self._PREFIX}_{name}") if live
+                live.counter(f"{self._PREFIX}_{name}") if live is not None
                 else Counter()
             )
         for name, initial in self._GAUGE_FIELDS.items():
-            cell = (
-                registry.gauge(f"{self._PREFIX}_{name}") if live else Gauge()
+            cell: Gauge = (
+                live.gauge(f"{self._PREFIX}_{name}") if live is not None
+                else Gauge()
             )
             cell.value = initial
             cells[name] = cell
         object.__setattr__(self, "_cells", cells)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> float:
         try:
             return object.__getattribute__(self, "_cells")[name].value
         except KeyError:
             raise AttributeError(name) from None
 
-    def __setattr__(self, name: str, value) -> None:
+    def __setattr__(self, name: str, value: float) -> None:
         cell = object.__getattribute__(self, "_cells").get(name)
         if cell is None:
             object.__setattr__(self, name, value)
         else:
             cell.value = value
 
-    def as_dict(self) -> dict[str, int]:
-        cells = object.__getattribute__(self, "_cells")
+    def as_dict(self) -> dict[str, float]:
+        cells: dict[str, Counter | Gauge] = object.__getattribute__(
+            self, "_cells"
+        )
         return {name: cell.value for name, cell in cells.items()}
 
     def __repr__(self) -> str:
@@ -404,7 +422,7 @@ class RegistryStats:
 class _PrometheusHandler(http.server.BaseHTTPRequestHandler):
     registry: MetricsRegistry = NULL_REGISTRY
 
-    def do_GET(self):  # noqa: N802 - stdlib naming
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path.rstrip("/") not in ("", "/metrics"):
             self.send_error(404)
             return
@@ -417,13 +435,13 @@ class _PrometheusHandler(http.server.BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def log_message(self, *args):  # scrapes must not spam stderr
-        pass
+    def log_message(self, *args: object) -> None:
+        pass  # scrapes must not spam stderr
 
 
 def serve_prometheus(
     registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0
-):
+) -> tuple[http.server.ThreadingHTTPServer, tuple[str, int]]:
     """Start a daemon-thread HTTP server exposing *registry* at
     ``/metrics``; returns ``(server, (host, port))``.  Call
     ``server.shutdown()`` to stop it."""
@@ -437,4 +455,5 @@ def serve_prometheus(
         daemon=True,
     )
     thread.start()
-    return server, server.server_address
+    host_out, port_out = server.server_address[0], server.server_address[1]
+    return server, (str(host_out), int(port_out))

@@ -32,6 +32,7 @@ import json
 import os
 import threading
 import time
+from types import TracebackType
 
 __all__ = ["TraceRecorder", "load_trace", "TID_MAIN", "TID_PUBLISHER",
            "TID_LOG", "TID_WORKER_BASE"]
@@ -74,7 +75,7 @@ class TraceRecorder:
 
     # -- raw emit ------------------------------------------------------
 
-    def _emit(self, event: dict) -> None:
+    def _emit(self, event: dict[str, object]) -> None:
         line = json.dumps(event, separators=(",", ":"))
         with self._lock:
             if self._closed:
@@ -90,7 +91,7 @@ class TraceRecorder:
 
     def complete(self, name: str, cat: str, ts: float, dur: float, *,
                  tid: int = TID_MAIN, epoch: int | None = None,
-                 **args) -> None:
+                 **args: object) -> None:
         """An ``X`` span: *ts* from :meth:`now`, *dur* in microseconds."""
         if epoch is not None:
             args["epoch"] = epoch
@@ -102,7 +103,7 @@ class TraceRecorder:
 
     def complete_perf(self, name: str, cat: str, start_perf: float,
                       end_perf: float, *, tid: int = TID_MAIN,
-                      epoch: int | None = None, **args) -> None:
+                      epoch: int | None = None, **args: object) -> None:
         """An ``X`` span from raw ``time.perf_counter()`` readings --
         lets instrumented code reuse the timings it already takes."""
         ts = (start_perf - self._t0) * 1e6
@@ -112,7 +113,7 @@ class TraceRecorder:
         )
 
     def instant(self, name: str, cat: str, *, tid: int = TID_MAIN,
-                epoch: int | None = None, **args) -> None:
+                epoch: int | None = None, **args: object) -> None:
         """An ``i`` marker (faults, watchdog flags) at the current time."""
         if epoch is not None:
             args["epoch"] = epoch
@@ -122,7 +123,9 @@ class TraceRecorder:
             "pid": self.pid, "tid": tid, "args": args,
         })
 
-    def meta(self, name: str, args: dict, *, tid: int = TID_MAIN) -> None:
+    def meta(
+        self, name: str, args: dict[str, object], *, tid: int = TID_MAIN
+    ) -> None:
         self._emit({
             "name": name, "ph": "M", "ts": 0,
             "pid": self.pid, "tid": tid, "args": args,
@@ -134,7 +137,7 @@ class TraceRecorder:
     # -- span helper ---------------------------------------------------
 
     def span(self, name: str, cat: str, *, tid: int = TID_MAIN,
-             epoch: int | None = None, **args) -> "_Span":
+             epoch: int | None = None, **args: object) -> "_Span":
         """``with recorder.span(...):`` emits one complete event."""
         return _Span(self, name, cat, tid, epoch, args)
 
@@ -153,29 +156,48 @@ class TraceRecorder:
             self._fh.write("\n]\n")
             self._fh.close()
 
-    def __enter__(self):
+    def __enter__(self) -> "TraceRecorder":
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
 
 class _Span:
     __slots__ = ("_rec", "_name", "_cat", "_tid", "_epoch", "_args", "_ts")
 
-    def __init__(self, rec, name, cat, tid, epoch, args):
+    def __init__(
+        self,
+        rec: TraceRecorder,
+        name: str,
+        cat: str,
+        tid: int,
+        epoch: int | None,
+        args: dict[str, object],
+    ) -> None:
         self._rec = rec
         self._name = name
         self._cat = cat
         self._tid = tid
         self._epoch = epoch
         self._args = args
+        self._ts = 0.0
 
-    def __enter__(self):
+    def __enter__(self) -> "_Span":
         self._ts = self._rec.now()
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         rec = self._rec
         rec.complete(
             self._name, self._cat, self._ts, rec.now() - self._ts,
@@ -183,7 +205,7 @@ class _Span:
         )
 
 
-def load_trace(path: str) -> list[dict]:
+def load_trace(path: str) -> list[dict[str, object]]:
     """Parse a trace file back to its event list.
 
     Accepts both the cleanly-closed well-formed array and a crash-torn
@@ -192,10 +214,12 @@ def load_trace(path: str) -> list[dict]:
     with open(path, encoding="utf-8") as fh:
         text = fh.read()
     try:
-        return json.loads(text)
+        events: list[dict[str, object]] = json.loads(text)
+        return events
     except json.JSONDecodeError:
         body = text.strip()
         if body.startswith("["):
             body = body[1:]
         body = body.rstrip().rstrip(",")
-        return json.loads(f"[{body}]")
+        events = json.loads(f"[{body}]")
+        return events

@@ -45,7 +45,7 @@ class SlowTickWatchdog:
         self.warmup = warmup
         self.ewma: float | None = None
         self.observed = 0
-        self.flagged: list[dict] = []
+        self.flagged: list[dict[str, object]] = []
 
     def observe(self, tick: int, total: float,
                 breakdown: dict[str, float]) -> bool:

@@ -85,7 +85,7 @@ class TornTailError(ValueError):
     has already been CRC-verified.
     """
 
-    def __init__(self, offset: int, reason: str):
+    def __init__(self, offset: int, reason: str) -> None:
         super().__init__(f"torn log tail at byte {offset}: {reason}")
         self.offset = offset
         self.reason = reason

@@ -31,6 +31,9 @@ from ..env.sharding import ReplicaDelta, ReplicaTable
 _SNAPSHOT = 0
 _DELTA = 1
 
+#: ``(_SNAPSHOT, rows)`` or ``(_DELTA, ReplicaDelta)``.
+_Entry = tuple[int, "list[dict[str, object]] | ReplicaDelta"]
+
 
 class EpochHistory:
     """Bounded history of one replica's epoch-versioned states."""
@@ -43,7 +46,7 @@ class EpochHistory:
         *,
         checkpoint_every: int = 32,
         retain: int = 256,
-    ):
+    ) -> None:
         if checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
@@ -55,15 +58,19 @@ class EpochHistory:
         self.retain = retain
         self._epochs: list[int] = []
         #: Parallel to ``_epochs``: ``(_SNAPSHOT, rows)`` or ``(_DELTA, rd)``.
-        self._entries: list[tuple[int, object]] = []
+        self._entries: list[_Entry] = []
 
     # -- recording ----------------------------------------------------------------
 
-    def record_snapshot(self, epoch: int, rows: list) -> None:
+    def record_snapshot(
+        self, epoch: int, rows: list[dict[str, object]]
+    ) -> None:
         """The feed delivered a full snapshot: a free checkpoint."""
         self._record(epoch, (_SNAPSHOT, list(rows)))
 
-    def record_delta(self, rd: ReplicaDelta, rows_after: list) -> None:
+    def record_delta(
+        self, rd: ReplicaDelta, rows_after: list[dict[str, object]]
+    ) -> None:
         """The feed delivered a delta the replica just applied.
 
         *rows_after* is the replica's row list at ``rd.epoch``; when the
@@ -72,6 +79,7 @@ class EpochHistory:
         most *checkpoint_every* delta applications.
         """
         last_checkpoint = self._last_checkpoint_epoch()
+        entry: _Entry
         if (
             last_checkpoint is None
             or rd.epoch - last_checkpoint >= self.checkpoint_every
@@ -81,7 +89,7 @@ class EpochHistory:
             entry = (_DELTA, rd)
         self._record(rd.epoch, entry)
 
-    def _record(self, epoch: int, entry: tuple[int, object]) -> None:
+    def _record(self, epoch: int, entry: _Entry) -> None:
         if self._epochs and epoch <= self._epochs[-1]:
             # the feed moved backwards (coordinator restored an earlier
             # state): everything retained describes a superseded
@@ -109,7 +117,7 @@ class EpochHistory:
         # keep the latest checkpoint at or before the retention target
         # (trimming only at checkpoint boundaries keeps the whole
         # advertised span reconstructible)
-        keep_from = None
+        keep_from: int | None = None
         for i, (kind, _) in enumerate(self._entries):
             if kind == _SNAPSHOT and self._epochs[i] <= target_first:
                 keep_from = i
@@ -141,7 +149,7 @@ class EpochHistory:
 
     # -- reconstruction -----------------------------------------------------------
 
-    def reconstruct(self, epoch: int) -> list:
+    def reconstruct(self, epoch: int) -> list[dict[str, object]]:
         """The replica's rows at *epoch*, in coordinator row order.
 
         Returns a fresh list; the row dicts are shared with the history
@@ -158,7 +166,11 @@ class EpochHistory:
                 f"epoch {epoch} has no retained checkpoint before it"
             )
         table = ReplicaTable(self.key_attr)
-        table.apply_snapshot(self._epochs[base], list(self._entries[base][1]))
+        base_rows = self._entries[base][1]
+        assert isinstance(base_rows, list)
+        table.apply_snapshot(self._epochs[base], list(base_rows))
         for j in range(base + 1, i + 1):
-            table.apply_delta(self._entries[j][1])
+            rd = self._entries[j][1]
+            assert isinstance(rd, ReplicaDelta)
+            table.apply_delta(rd)
         return table.rows

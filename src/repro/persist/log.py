@@ -37,6 +37,8 @@ import queue
 import threading
 import time
 from dataclasses import dataclass
+from types import TracebackType
+from typing import Any, Iterator
 
 from ..env.sharding import (
     NO_REPLICA,
@@ -48,7 +50,14 @@ from ..env.sharding import (
     delta_blob,
     snapshot_blob,
 )
-from ..obs import NULL_REGISTRY, TID_LOG, TID_MAIN, RegistryStats
+from ..obs import (
+    NULL_REGISTRY,
+    TID_LOG,
+    TID_MAIN,
+    MetricsRegistry,
+    RegistryStats,
+    TraceRecorder,
+)
 from .framing import (
     FILE_HEADER,
     REC_DELTA,
@@ -125,9 +134,9 @@ class EpochLogWriter:
         fsync: str = "checkpoint",
         background: bool = True,
         resume: bool = False,
-        metrics=None,
-        trace=None,
-    ):
+        metrics: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
         if checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
@@ -161,7 +170,7 @@ class EpochLogWriter:
             self._fh.write(FILE_HEADER)
             self.stats.bytes_enqueued += len(FILE_HEADER)
             self.stats.bytes_written += len(FILE_HEADER)
-        self._queue: queue.Queue | None = None
+        self._queue: queue.Queue[tuple[bytes, bool, int] | None] | None = None
         self._thread: threading.Thread | None = None
         if background:
             self._queue = queue.Queue()
@@ -172,7 +181,7 @@ class EpochLogWriter:
 
     # -- appends (caller thread) --------------------------------------------------
 
-    def append_meta(self, meta: dict) -> int:
+    def append_meta(self, meta: dict[str, object]) -> int:
         """Record the producer's self-description (once, at attach)."""
         return self._append(
             REC_META, 0, pickle.dumps(meta, protocol=_PICKLE_PROTOCOL)
@@ -181,11 +190,11 @@ class EpochLogWriter:
     def append_epoch(
         self,
         epoch: int,
-        rows: list,
-        shard_conf: tuple,
+        rows: list[dict[str, object]],
+        shard_conf: tuple[object, ...],
         *,
         delta: ReplicaDelta | None = None,
-        state: dict | None = None,
+        state: dict[str, object] | None = None,
         force_snapshot: bool = False,
     ) -> int:
         """Log one post-tick state; returns the bytes enqueued.
@@ -223,7 +232,9 @@ class EpochLogWriter:
             n += self.append_state(epoch, state, sync=checkpoint_due)
         return n
 
-    def append_state(self, epoch: int, state: dict, *, sync: bool = False) -> int:
+    def append_state(
+        self, epoch: int, state: dict[str, object], *, sync: bool = False
+    ) -> int:
         """Append a game-state record stamped at *epoch*."""
         n = self._append(
             REC_STATE,
@@ -286,12 +297,18 @@ class EpochLogWriter:
                         "log_fsync", "epochlog", t0, t1,
                         tid=TID_LOG, epoch=epoch,
                     )
+            # reprolint: disable=cross-thread-mutation -- _write runs on
+            # exactly one thread per writer mode (drain thread when
+            # background, caller thread when synchronous), never both
             self.stats.bytes_written += len(buf)
         except BaseException as exc:  # noqa: BLE001 - remembered, re-raised
+            # reprolint: disable=cross-thread-mutation -- single-writer per
+            # mode (see above); readers tolerate a GIL-atomic torn read
             self._error = exc
 
     def _drain(self) -> None:
         q = self._queue
+        assert q is not None  # only started in background mode
         while True:
             item = q.get()
             self._m_queue_depth.set(q.qsize())
@@ -331,6 +348,7 @@ class EpochLogWriter:
             return
         self._closed = True
         if self._thread is not None:
+            assert self._queue is not None
             self._queue.put(None)
             self._thread.join()
             self._thread = None
@@ -349,7 +367,12 @@ class EpochLogWriter:
     def __enter__(self) -> "EpochLogWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
 
@@ -363,13 +386,13 @@ class ReplayResult:
     """The replayed state at :attr:`epoch` (coordinator row order)."""
 
     epoch: int
-    rows: list
-    shard_conf: tuple | None = None
+    rows: list[dict[str, object]]
+    shard_conf: tuple[object, ...] | None = None
     #: Records applied to reach the state (1 snapshot + N deltas).
     applied: int = 0
 
 
-def _decode_update(record: Record):
+def _decode_update(record: Record) -> Any:
     try:
         return pickle.loads(record.payload)
     except Exception as exc:
@@ -388,7 +411,7 @@ class EpochLogReader:
     recovering from a crash.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = os.fspath(path)
         self._fh = open(self.path, "rb")
         check_file_header(self._fh.read(len(FILE_HEADER)))
@@ -403,7 +426,12 @@ class EpochLogReader:
     def __enter__(self) -> "EpochLogReader":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     def _load(self, i: int) -> Record:
@@ -414,7 +442,7 @@ class EpochLogReader:
 
     # -- inspection ---------------------------------------------------------------
 
-    def meta(self) -> dict | None:
+    def meta(self) -> dict[str, object] | None:
         """The first recorded metadata dict, or ``None``."""
         for i, (_, _, rtype, _) in enumerate(self.index):
             if rtype == REC_META:
@@ -437,7 +465,9 @@ class EpochLogReader:
                 return epoch
         return NO_REPLICA
 
-    def last_state(self, upto: int | None = None) -> tuple[int, dict] | None:
+    def last_state(
+        self, upto: int | None = None
+    ) -> tuple[int, dict[str, object]] | None:
         """The latest game-state record at epoch <= *upto* (or overall)."""
         for i in range(len(self.index) - 1, -1, -1):
             _, _, rtype, epoch = self.index[i]
@@ -464,7 +494,7 @@ class EpochLogReader:
                 raise EpochLogError(
                     f"epoch log {self.path!r} records no key_attr; pass one"
                 )
-        base = None
+        base: int | None = None
         for i in range(len(self.index) - 1, -1, -1):
             _, _, rtype, epoch = self.index[i]
             if rtype == REC_SNAPSHOT and (upto is None or epoch <= upto):
@@ -512,7 +542,9 @@ class EpochLogReader:
             applied=applied,
         )
 
-    def replay_states(self, *, key_attr: str | None = None):
+    def replay_states(
+        self, *, key_attr: str | None = None
+    ) -> Iterator[tuple[int, list[dict[str, object]]]]:
         """Yield ``(epoch, rows)`` for every logged epoch, in one pass.
 
         The cheap way to sweep the whole history (benchmarks, audits):
@@ -595,7 +627,7 @@ def truncate_torn_tail(path: str) -> int:
 # ---------------------------------------------------------------------------
 
 
-def write_state_file(path: str, epoch: int, state: dict) -> int:
+def write_state_file(path: str, epoch: int, state: dict[str, object]) -> int:
     """Write a one-record save file (same framing as the log)."""
     buf = FILE_HEADER + encode_record(
         REC_STATE, epoch, pickle.dumps(state, protocol=_PICKLE_PROTOCOL)
@@ -607,7 +639,7 @@ def write_state_file(path: str, epoch: int, state: dict) -> int:
     return len(buf)
 
 
-def read_state_file(path: str) -> tuple[int, dict]:
+def read_state_file(path: str) -> tuple[int, dict[str, object]]:
     """Read a save file back; returns ``(epoch, state)``.
 
     CRC-verified like any log record; a truncated or corrupt save

@@ -157,7 +157,7 @@ def build_request(
 def plain_value(value: object) -> object:
     """Strip SGL runtime types down to picklable, ``==``-comparable data."""
     if isinstance(value, Record):
-        return {k: plain_value(value.get(k)) for k in value.keys()}
+        return {k: plain_value(v) for k, v in value.as_dict().items()}
     if isinstance(value, Vec):
         return list(value.items)
     if isinstance(value, Mapping):

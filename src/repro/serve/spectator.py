@@ -569,6 +569,13 @@ class SpectatorClient:
                 "spectator did not reply in time; connection closed "
                 "(a reply may still be in flight and cannot be re-paired)"
             ) from None
+        except FrameError as exc:
+            # a torn or desynced frame poisons request/reply pairing the
+            # same way a late reply does: close rather than resync
+            self._transport.close()
+            raise SpectatorError(
+                f"spectator stream desynchronized ({exc}); connection closed"
+            ) from None
         tag = reply[0]
         if tag == RESP_ERROR:
             raise SpectatorError(reply[1])

@@ -48,3 +48,37 @@ def small_env(schema):
 @pytest.fixture()
 def tick_rng():
     return TickRandom(seed=1234, tick=1)
+
+
+def assert_no_thread_leaks(before, *, grace=2.0):
+    """Fail when a non-daemon thread outlives the test that spawned it.
+
+    *before* is the ``set(threading.enumerate())`` captured at test
+    start.  New non-daemon threads get a short grace join (teardown
+    paths signal their workers asynchronously) and must be gone after
+    it -- a survivor means some ``close()`` forgot to signal or join,
+    exactly the bug class reprolint's concurrency pack flags statically.
+    """
+    import threading
+
+    leaked = []
+    for t in threading.enumerate():
+        if t in before or t.daemon or t is threading.current_thread():
+            continue
+        t.join(timeout=grace)
+        if t.is_alive():
+            leaked.append(t.name)
+    assert not leaked, (
+        f"non-daemon thread(s) survived test teardown: {leaked}; "
+        "every close()/shutdown() must signal and join its workers"
+    )
+
+
+@pytest.fixture()
+def no_thread_leaks():
+    """Opt-in guard: no non-daemon thread may outlive the test."""
+    import threading
+
+    before = set(threading.enumerate())
+    yield
+    assert_no_thread_leaks(before)

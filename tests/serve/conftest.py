@@ -1,0 +1,14 @@
+"""Autouse thread-leak guard: close() must not strand worker threads."""
+
+import threading
+
+import pytest
+
+from tests.conftest import assert_no_thread_leaks
+
+
+@pytest.fixture(autouse=True)
+def _no_nondaemon_thread_leaks():
+    before = set(threading.enumerate())
+    yield
+    assert_no_thread_leaks(before)

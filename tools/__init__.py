@@ -1,0 +1,2 @@
+"""Repo tooling: docs checks (`check_docs.py`) and the reprolint
+static-analysis suite (`python -m tools.reprolint src/`)."""

@@ -1,0 +1,76 @@
+"""Baseline: grandfathered findings that do not fail the gate.
+
+A baseline entry is a *fingerprint* -- ``path``, ``rule``, a short hash
+of the flagged source line (stripped, so re-indenting does not churn
+the baseline), and an occurrence index for repeated identical lines.
+Line numbers are deliberately NOT part of the fingerprint: inserting a
+docstring above a grandfathered finding must not resurrect it.
+
+Workflow::
+
+    python -m tools.reprolint src/ --write-baseline   # grandfather current
+    python -m tools.reprolint src/                    # gate: new findings only
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .engine import Finding
+
+BASELINE_VERSION = 1
+
+
+def _line_hash(text: str) -> str:
+    return hashlib.sha256(text.strip().encode("utf-8")).hexdigest()[:12]
+
+
+def fingerprints(
+    findings: Iterable[Finding], line_text: dict[tuple[str, int], str]
+) -> list[str]:
+    """Stable fingerprint per finding, in finding order."""
+    seen: Counter[str] = Counter()
+    out: list[str] = []
+    for f in findings:
+        text = line_text.get((f.path, f.line), "")
+        base = f"{f.path}:{f.rule}:{_line_hash(text)}"
+        idx = seen[base]
+        seen[base] += 1
+        out.append(f"{base}:{idx}")
+    return out
+
+
+def save(path: Path, prints: Iterable[str]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted(prints),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load(path: Path) -> set[str]:
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    return set(payload.get("fingerprints", ()))
+
+
+def split_by_baseline(
+    findings: list[Finding],
+    line_text: dict[tuple[str, int], str],
+    baselined: set[str],
+) -> tuple[list[Finding], list[Finding]]:
+    """Return ``(new, grandfathered)``."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f, fp in zip(findings, fingerprints(findings, line_text)):
+        (old if fp in baselined else new).append(f)
+    return new, old

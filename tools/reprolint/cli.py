@@ -1,0 +1,171 @@
+"""Command line entry: ``python -m tools.reprolint [paths] [options]``.
+
+Exit codes (stable; CI depends on them):
+
+* ``0`` -- no unbaselined findings
+* ``1`` -- unbaselined findings (or parse errors) present
+* ``2`` -- usage / internal error
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+from . import baseline as baseline_mod
+from .engine import lint_paths
+from .rules import ALL_RULES, RULES_BY_ID
+from .reporters import render_json, render_text
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _changed_files(root: Path) -> set[str] | None:
+    """Repo-relative paths of files changed vs. HEAD (staged + unstaged)."""
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD", "--"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {
+        line.strip()
+        for line in (out + untracked).splitlines()
+        if line.strip().endswith(".py")
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="determinism/concurrency/wire static analysis",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE.name} beside the tool)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only for files changed vs. git HEAD "
+        "(the whole tree is still parsed for cross-file rules)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE-ID",
+        help="run only the given rule (repeatable)",
+    )
+    parser.add_argument("--list-rules", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = f" [{rule.requires_role}-path only]" if rule.requires_role else ""
+            print(f"{rule.pack}/{rule.id}{scope}: {rule.description}")
+        return 0
+
+    rules = ALL_RULES
+    if args.rules:
+        unknown = [r for r in args.rules if r not in RULES_BY_ID]
+        if unknown:
+            print(f"reprolint: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        rules = [RULES_BY_ID[r] for r in args.rules]
+
+    root = Path.cwd()
+    only_files: set[str] | None = None
+    if args.changed_only:
+        only_files = _changed_files(root)
+        if only_files is None:
+            print(
+                "reprolint: --changed-only requires git; falling back to full run",
+                file=sys.stderr,
+            )
+        elif not only_files:
+            print("reprolint: clean (no changed .py files)")
+            return 0
+
+    paths = [p for p in args.paths if Path(p).exists()]
+    if not paths:
+        print(f"reprolint: no such path(s): {', '.join(args.paths)}", file=sys.stderr)
+        return 2
+
+    try:
+        findings, errors = lint_paths(paths, rules, root=root, only_files=only_files)
+    except Exception as exc:  # internal error -> exit 2, never a silent pass
+        print(f"reprolint: internal error: {exc}", file=sys.stderr)
+        return 2
+
+    line_text: dict[tuple[str, int], str] = {}
+    by_rel: dict[str, Path] = {}
+    for f in findings:
+        if f.path not in by_rel:
+            by_rel[f.path] = root / f.path
+        key = (f.path, f.line)
+        if key not in line_text:
+            try:
+                lines = by_rel[f.path].read_text(encoding="utf-8").splitlines()
+                line_text[key] = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+            except OSError:
+                line_text[key] = ""
+
+    if args.write_baseline:
+        prints = baseline_mod.fingerprints(findings, line_text)
+        baseline_mod.save(args.baseline, prints)
+        print(f"reprolint: wrote {len(prints)} fingerprint(s) to {args.baseline}")
+        return 0
+
+    baselined: set[str] = set()
+    if not args.no_baseline:
+        try:
+            baselined = baseline_mod.load(args.baseline)
+        except (ValueError, OSError) as exc:
+            print(f"reprolint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+    new, old = baseline_mod.split_by_baseline(findings, line_text, baselined)
+
+    render = render_json if args.fmt == "json" else render_text
+    print(render(new, grandfathered=len(old), errors=errors))
+    return 1 if (new or errors) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""Core engine: module loading, role detection, suppressions, dispatch.
+
+The engine parses every ``.py`` file under the given paths into a
+:class:`LintModule` (AST + source lines + parent links + role tags),
+runs each rule's per-module ``check`` pass, then each rule's
+project-wide ``finalize`` pass, and finally applies inline
+suppressions.  Suppressions *require* a justification::
+
+    x = some_call()  # reprolint: disable=nondet-call -- seeded fallback only
+
+A suppression without the ``-- justification`` text does not suppress
+anything; it is itself reported as a ``bad-suppression`` finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+# Path segments that put a module on the deterministic tick path.  Rules
+# with ``requires_role = "tick"`` only run on these modules.  A module
+# can override its role with a marker comment in the first five lines:
+#   # reprolint: role=tick     (opt in)
+#   # reprolint: role=support  (opt out)
+TICK_PATH_SEGMENTS = frozenset({"engine", "env", "sgl", "indexes", "algebra"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,-]+)((?:\s+--\s*)(.*))?"
+)
+_ROLE_RE = re.compile(r"#\s*reprolint:\s*role=([A-Za-z-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    pack: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class Suppression:
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+
+
+class LintModule:
+    """A parsed source file plus the per-file metadata rules need."""
+
+    def __init__(self, path: Path, source: str, relpath: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.role = self._detect_role()
+        self.suppressions = self._parse_suppressions()
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- structure helpers -------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def parents(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    # -- role & suppression parsing ---------------------------------------
+    def _detect_role(self) -> str:
+        for raw in self.lines[:5]:
+            m = _ROLE_RE.search(raw)
+            if m:
+                return m.group(1)
+        parts = set(Path(self.relpath).parts)
+        if parts & TICK_PATH_SEGMENTS:
+            return "tick"
+        return "support"
+
+    def _parse_suppressions(self) -> dict[int, Suppression]:
+        out: dict[int, Suppression] = {}
+        for idx, raw in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(raw)
+            if not m:
+                continue
+            rules = tuple(r.strip() for r in m.group(1).split(",") if r.strip())
+            justification = (m.group(3) or "").strip()
+            out[idx] = Suppression(idx, rules, justification)
+        return out
+
+    def suppression_for(self, lineno: int, rule: str) -> Suppression | None:
+        """Suppression on the flagged line or in the comment block above.
+
+        Justifications often span several comment lines; any line of the
+        contiguous standalone-comment block directly above the flagged
+        line may carry the ``disable=`` marker.
+        """
+        candidates = [lineno]
+        ln = lineno - 1
+        while ln >= 1 and self.line_text(ln).lstrip().startswith("#"):
+            candidates.append(ln)
+            ln -= 1
+        for candidate in candidates:
+            sup = self.suppressions.get(candidate)
+            if sup is None:
+                continue
+            if rule in sup.rules or "all" in sup.rules:
+                return sup
+        return None
+
+
+@dataclass
+class Project:
+    """All modules in one lint run, for cross-file ``finalize`` passes."""
+
+    modules: list[LintModule] = field(default_factory=list)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    ``check`` runs once per module; ``finalize`` runs once per project
+    after every module has been checked (for cross-file rules such as
+    encoder/decoder pairing).
+    """
+
+    id: str = ""
+    pack: str = ""
+    description: str = ""
+    requires_role: str | None = None  # e.g. "tick"; None = every module
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def make(self, module: LintModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            pack=self.pack,
+            message=message,
+        )
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py" and p.is_file():
+            files.append(p)
+    # De-duplicate while keeping a deterministic order.
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for f in files:
+        rp = f.resolve()
+        if rp not in seen:
+            seen.add(rp)
+            ordered.append(f)
+    return ordered
+
+
+def load_module(path: Path, root: Path | None = None) -> LintModule:
+    source = path.read_text(encoding="utf-8")
+    base = root if root is not None else Path.cwd()
+    try:
+        rel = path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return LintModule(path, source, rel)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule],
+    root: Path | None = None,
+    only_files: set[str] | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Lint ``paths`` with ``rules``.
+
+    Returns ``(findings, errors)`` where ``errors`` are files that could
+    not be parsed.  ``only_files`` (relpaths) restricts *reporting* to a
+    subset of files while still parsing the whole tree, so cross-file
+    rules keep full context in ``--changed-only`` mode.
+    """
+    rule_list = list(rules)
+    project = Project()
+    errors: list[str] = []
+    for path in discover_files(paths):
+        try:
+            project.modules.append(load_module(path, root=root))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            errors.append(f"{path}: {exc}")
+
+    raw: list[Finding] = []
+    for module in project.modules:
+        for rule in rule_list:
+            if rule.requires_role is not None and module.role != rule.requires_role:
+                continue
+            raw.extend(rule.check(module))
+    for rule in rule_list:
+        raw.extend(rule.finalize(project))
+
+    by_rel = {m.relpath: m for m in project.modules}
+    findings: list[Finding] = []
+    used: set[tuple[str, int]] = set()
+    for f in raw:
+        module = by_rel.get(f.path)
+        if module is not None:
+            sup = module.suppression_for(f.line, f.rule)
+            if sup is not None:
+                used.add((f.path, sup.line))
+                if sup.justification:
+                    continue  # properly suppressed
+                # Unjustified: the suppression itself is the finding.
+                findings.append(
+                    Finding(
+                        path=f.path,
+                        line=sup.line,
+                        col=0,
+                        rule="bad-suppression",
+                        pack="meta",
+                        message=(
+                            "suppression without justification; write "
+                            "'# reprolint: disable=%s -- <why>'" % f.rule
+                        ),
+                    )
+                )
+                continue
+        findings.append(f)
+
+    if only_files is not None:
+        findings = [f for f in findings if f.path in only_files]
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    # Collapse duplicate bad-suppression findings for one comment line.
+    deduped: list[Finding] = []
+    seen_keys: set[tuple[str, int, int, str]] = set()
+    for f in findings:
+        key = (f.path, f.line, f.col, f.rule)
+        if key in seen_keys:
+            continue
+        seen_keys.add(key)
+        deduped.append(f)
+    return deduped, errors

@@ -1,0 +1,53 @@
+"""Text and JSON reporters with stable shapes for CI consumption."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .engine import Finding
+
+
+def render_text(
+    findings: Iterable[Finding],
+    grandfathered: int = 0,
+    errors: Iterable[str] = (),
+) -> str:
+    lines: list[str] = []
+    count = 0
+    for f in findings:
+        count += 1
+        lines.append(f"{f.location()}: [{f.pack}/{f.rule}] {f.message}")
+    for err in errors:
+        lines.append(f"error: {err}")
+    if count == 0:
+        summary = "reprolint: clean"
+    else:
+        summary = f"reprolint: {count} finding{'s' if count != 1 else ''}"
+    if grandfathered:
+        summary += f" ({grandfathered} baselined, not shown)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Iterable[Finding],
+    grandfathered: int = 0,
+    errors: Iterable[str] = (),
+) -> str:
+    payload = {
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "pack": f.pack,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "grandfathered": grandfathered,
+        "errors": list(errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,97 @@
+"""Shared AST helpers for the rule packs."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to fully qualified import paths.
+
+    ``import time`` -> {"time": "time"};
+    ``import numpy as np`` -> {"np": "numpy"};
+    ``from datetime import datetime as dt`` -> {"dt": "datetime.datetime"}.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Return ``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolved_call_name(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Fully qualified dotted name of a call target, following imports."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    base = aliases.get(head, head)
+    return f"{base}.{rest}" if rest else base
+
+
+def enclosing_function(
+    module: "LintModuleLike", node: ast.AST
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for parent in module.parents(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+    return None
+
+
+def enclosing_class(module: "LintModuleLike", node: ast.AST) -> ast.ClassDef | None:
+    for parent in module.parents(node):
+        if isinstance(parent, ast.ClassDef):
+            return parent
+    return None
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function scopes.
+
+    Class bodies ARE descended into (their statements resolve names in
+    the enclosing scope for our purposes); nested def/lambda are not --
+    they get their own pass when the caller iterates scopes.
+    """
+    stack: list[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+class LintModuleLike:
+    """Protocol stand-in (kept duck-typed so rules stay import-light)."""
+
+    def parents(self, node: ast.AST) -> Iterator[ast.AST]:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,355 @@
+"""Concurrency rule pack.
+
+The repo runs three long-lived background threads next to the tick
+thread: the epoch-log writer (``persist/log.py``), the replica
+publisher's control plane, and the Prometheus HTTP server
+(``obs/registry.py``).  These rules build a per-class *thread-ownership
+map* -- which methods run on a spawned thread vs. the caller's thread --
+and flag instance attributes mutated from both domains without the
+class's registered lock, plus teardown mistakes (``join()`` before the
+stop signal, non-daemon threads that are never joined).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintModule, Rule
+from ._util import dotted_name, import_aliases, resolved_call_name
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "add",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "appendleft",
+        "popleft",
+    }
+)
+
+_TEARDOWN_METHODS = frozenset({"close", "shutdown", "stop", "__exit__", "__del__"})
+
+
+def _self_attr_path(node: ast.AST) -> str | None:
+    """``self.a`` -> "a"; ``self.a.b`` -> "a.b"; anything else -> None."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name) and cur.id == "self" and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+def _method_map(cls: ast.ClassDef) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    out: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out[stmt.name] = stmt
+    return out
+
+
+def _self_calls(method: ast.AST) -> set[str]:
+    """Names of same-class methods invoked as ``self.<name>(...)``."""
+    out: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            path = _self_attr_path(node.func)
+            if path is not None and "." not in path:
+                out.add(path)
+    return out
+
+
+def _thread_targets(cls: ast.ClassDef, aliases: dict[str, str]) -> set[str]:
+    """Method names handed to ``threading.Thread(target=self.<m>)``."""
+    targets: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolved_call_name(node, aliases)
+        if name != "threading.Thread":
+            continue
+        for kw in node.keywords:
+            if kw.arg == "target":
+                path = _self_attr_path(kw.value)
+                if path is not None and "." not in path:
+                    targets.add(path)
+    return targets
+
+
+def _worker_closure(
+    targets: set[str],
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+) -> set[str]:
+    closure = set(targets)
+    frontier = list(targets)
+    while frontier:
+        name = frontier.pop()
+        method = methods.get(name)
+        if method is None:
+            continue
+        for callee in _self_calls(method):
+            if callee in methods and callee not in closure:
+                closure.add(callee)
+                frontier.append(callee)
+    return closure
+
+
+def _is_locked(module: LintModule, node: ast.AST) -> bool:
+    """True when ``node`` sits inside ``with self.<something-lock>:``."""
+    for parent in module.parents(node):
+        if isinstance(parent, ast.With):
+            for item in parent.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                path = _self_attr_path(expr)
+                if path is not None and "lock" in path.lower():
+                    return True
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+    return False
+
+
+class CrossThreadMutationRule(Rule):
+    id = "cross-thread-mutation"
+    pack = "concurrency"
+    description = (
+        "instance attribute mutated from both the worker-thread domain "
+        "and the caller domain without the class's lock"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node, aliases)
+
+    def _check_class(
+        self, module: LintModule, cls: ast.ClassDef, aliases: dict[str, str]
+    ) -> Iterator[Finding]:
+        targets = _thread_targets(cls, aliases)
+        if not targets:
+            return
+        methods = _method_map(cls)
+        worker = _worker_closure(targets, methods)
+        callers_of: dict[str, set[str]] = {name: set() for name in methods}
+        for name, method in methods.items():
+            for callee in _self_calls(method):
+                if callee in callers_of:
+                    callers_of[callee].add(name)
+
+        def domains(name: str) -> set[str]:
+            d: set[str] = set()
+            if name in worker:
+                d.add("worker")
+                # A worker-closure method also invoked from outside the
+                # closure runs in both domains (e.g. a synchronous
+                # fallback path calling the same _write helper).
+                if any(c not in worker for c in callers_of.get(name, ())):
+                    d.add("caller")
+            else:
+                d.add("caller")
+            return d
+
+        # attr path -> domain -> list of (site, locked, method name)
+        sites: dict[str, dict[str, list[tuple[ast.AST, bool, str]]]] = {}
+        for name, method in methods.items():
+            if name in {"__init__", "__new__", "__post_init__"}:
+                continue
+            doms = domains(name)
+            for site, attr in self._mutations(method):
+                locked = _is_locked(module, site)
+                slot = sites.setdefault(attr, {})
+                for d in doms:
+                    slot.setdefault(d, []).append((site, locked, name))
+
+        for attr in sorted(sites):
+            slot = sites[attr]
+            if len(slot) < 2:
+                continue
+            unlocked = [
+                (site, meth)
+                for entries in slot.values()
+                for site, locked, meth in entries
+                if not locked
+            ]
+            if not unlocked:
+                continue
+            reported: set[int] = set()
+            for site, meth in unlocked:
+                line = getattr(site, "lineno", 0)
+                if line in reported:
+                    continue
+                reported.add(line)
+                worker_methods = sorted(
+                    {m for _, _, m in slot.get("worker", ())}
+                )
+                caller_methods = sorted(
+                    {m for _, _, m in slot.get("caller", ())}
+                )
+                yield self.make(
+                    module,
+                    site,
+                    f"self.{attr} mutated in {meth}() from both thread "
+                    f"domains (worker: {', '.join(worker_methods)}; caller: "
+                    f"{', '.join(caller_methods)}) without the class lock; "
+                    "guard with the registered lock or confine to one thread",
+                )
+
+    @staticmethod
+    def _mutations(method: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    path = _self_attr_path(tgt)
+                    if path is not None:
+                        yield node, path
+                    elif isinstance(tgt, ast.Subscript):
+                        base = _self_attr_path(tgt.value)
+                        if base is not None:
+                            yield node, base
+            elif isinstance(node, ast.AugAssign):
+                path = _self_attr_path(node.target)
+                if path is not None:
+                    yield node, path
+                elif isinstance(node.target, ast.Subscript):
+                    base = _self_attr_path(node.target.value)
+                    if base is not None:
+                        yield node, base
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                base = _self_attr_path(node.func.value)
+                if base is not None:
+                    yield node, base
+
+
+class TeardownOrderRule(Rule):
+    id = "teardown-order"
+    pack = "concurrency"
+    description = (
+        "thread.join() in a teardown method before any stop signal "
+        "(sentinel put / event set / flag assignment / close)"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name in _TEARDOWN_METHODS
+                ):
+                    yield from self._check_teardown(module, stmt)
+
+    def _check_teardown(
+        self, module: LintModule, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        joins: list[ast.Call] = []
+        signal_lines: list[int] = []
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr == "join" and not node.args:
+                    joins.append(node)  # no positional args: thread/queue join, not str.join
+                elif attr in {
+                    "put",
+                    "put_nowait",
+                    "set",
+                    "close",
+                    "cancel",
+                    "shutdown",
+                    "terminate",
+                    "send",
+                } or attr.startswith("stop"):
+                    signal_lines.append(node.lineno)
+            elif isinstance(node, ast.Assign):
+                # ``self._closed = True``-style flag writes count as signals.
+                for tgt in node.targets:
+                    if _self_attr_path(tgt) is not None:
+                        signal_lines.append(node.lineno)
+        for join in joins:
+            if _self_attr_path(join.func.value) is None and dotted_name(join.func.value) is None:
+                continue
+            before = [ln for ln in signal_lines if ln < join.lineno]
+            if not before:
+                yield self.make(
+                    module,
+                    join,
+                    "join() before any stop signal in a teardown method; "
+                    "signal the worker (sentinel/event/flag/close) before "
+                    "joining or the join can hang forever",
+                )
+
+
+class NonDaemonThreadLeakRule(Rule):
+    id = "nondaemon-thread-leak"
+    pack = "concurrency"
+    description = (
+        "threading.Thread created without daemon=True and never joined "
+        "in its enclosing scope; leaks past interpreter teardown"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if resolved_call_name(node, aliases) != "threading.Thread":
+                continue
+            daemon = None
+            for kw in node.keywords:
+                if kw.arg == "daemon" and isinstance(kw.value, ast.Constant):
+                    daemon = kw.value.value
+            if daemon is True:
+                continue
+            scope = self._enclosing_scope(module, node)
+            if self._has_join(scope):
+                continue
+            yield self.make(
+                module,
+                node,
+                "non-daemon Thread with no join() in the enclosing "
+                "class/module; pass daemon=True or join it in close()",
+            )
+
+    @staticmethod
+    def _enclosing_scope(module: LintModule, node: ast.AST) -> ast.AST:
+        best: ast.AST = module.tree
+        for parent in module.parents(node):
+            if isinstance(parent, ast.ClassDef):
+                return parent
+        return best
+
+    @staticmethod
+    def _has_join(scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and not node.args
+            ):
+                return True
+        return False
+
+
+CONCURRENCY_RULES: list[Rule] = [
+    CrossThreadMutationRule(),
+    TeardownOrderRule(),
+    NonDaemonThreadLeakRule(),
+]

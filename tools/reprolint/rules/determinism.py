@@ -1,0 +1,505 @@
+"""Determinism rule pack.
+
+These rules guard the engine's core invariant: every configuration of
+the same seeded simulation must produce a bit-identical trajectory.
+They target the bug classes that have actually corrupted runs in this
+repo's history: ambient entropy sources on the tick path, iteration
+order leaking out of hash-based containers into ⊕-merge / broadcast /
+blob-encode paths, and ``id()``-keyed caches that outlive their
+referent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, LintModule, Rule
+from ._util import dotted_name, import_aliases, resolved_call_name, scope_walk
+
+# -- nondet-call -----------------------------------------------------------
+
+_BANNED_CALLS: dict[str, str] = {
+    "time.time": "wall-clock time; use the epoch counter (or time.perf_counter in obs-only diagnostics)",
+    "time.time_ns": "wall-clock time; use the epoch counter",
+    "datetime.datetime.now": "wall-clock time; derive timestamps outside the tick path",
+    "datetime.datetime.utcnow": "wall-clock time; derive timestamps outside the tick path",
+    "datetime.datetime.today": "wall-clock time; derive timestamps outside the tick path",
+    "datetime.date.today": "wall-clock date; derive timestamps outside the tick path",
+    "os.urandom": "OS entropy; use the simulation's seeded RNG",
+    "uuid.uuid1": "host/time-derived UUID; use deterministic ids",
+    "uuid.uuid4": "random UUID; use deterministic ids",
+}
+_BANNED_PREFIXES: dict[str, str] = {
+    "random.": "process-global RNG; use a seeded random.Random owned by the simulation",
+    "secrets.": "cryptographic entropy; use the simulation's seeded RNG",
+    "numpy.random.": "process-global RNG; use a seeded generator owned by the simulation",
+}
+# random.Random(seed) constructs an *owned* seeded generator -- the
+# sanctioned way to get randomness -- so it is allowlisted.
+_ALLOWED_CALLS = frozenset({"random.Random", "random.SystemRandom.__bad__"})
+
+
+class NondetCallRule(Rule):
+    id = "nondet-call"
+    pack = "determinism"
+    description = (
+        "ambient entropy (random/time/datetime/os.urandom/uuid/secrets) "
+        "called on the tick path"
+    )
+    requires_role = "tick"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolved_call_name(node, aliases)
+            if name is None or name in _ALLOWED_CALLS:
+                continue
+            reason = _BANNED_CALLS.get(name)
+            if reason is None:
+                for prefix, why in _BANNED_PREFIXES.items():
+                    if name.startswith(prefix) and name not in _ALLOWED_CALLS:
+                        reason = why
+                        break
+            if reason is not None:
+                yield self.make(
+                    module, node, f"nondeterministic call {name}(): {reason}"
+                )
+
+
+# -- unstable-hash ---------------------------------------------------------
+
+
+class UnstableHashRule(Rule):
+    id = "unstable-hash"
+    pack = "determinism"
+    description = (
+        "builtin hash() on the tick path (PYTHONHASHSEED-dependent for "
+        "str/bytes); use repro.engine.rng.stable_hash"
+    )
+    requires_role = "tick"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id == "hash"):
+                continue
+            if aliases.get("hash", "hash") != "hash":
+                continue  # shadowed by an import
+            if self._inside_dunder_hash(module, node):
+                continue
+            yield self.make(
+                module,
+                node,
+                "builtin hash() is PYTHONHASHSEED-dependent for str/bytes; "
+                "use repro.engine.rng.stable_hash",
+            )
+
+    @staticmethod
+    def _inside_dunder_hash(module: LintModule, node: ast.AST) -> bool:
+        # __hash__ implementations legitimately delegate to hash(); the
+        # result never crosses process boundaries un-normalised.
+        for parent in module.parents(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return parent.name == "__hash__"
+        return False
+
+
+# -- unsorted-set-iter -----------------------------------------------------
+
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
+)
+
+
+def _is_set_expr(node: ast.AST, set_names: set[str]) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in {"set", "frozenset"}
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _set_annotation(ann: ast.AST | None) -> bool:
+    if ann is None:
+        return False
+    text = ast.dump(ann)
+    return "'set'" in text or "'frozenset'" in text or "'Set'" in text
+
+
+def _collect_set_names(scope: ast.AST) -> set[str]:
+    """Local names bound to set-valued expressions inside ``scope``."""
+    names: set[str] = set()
+    for node in scope_walk(scope):
+        if isinstance(node, ast.Assign):
+            if _is_set_expr(node.value, names):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        names.add(tgt.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _set_annotation(node.annotation) or (
+                node.value is not None and _is_set_expr(node.value, names)
+            ):
+                names.add(node.target.id)
+        elif isinstance(node, ast.arg) and _set_annotation(node.annotation):
+            names.add(node.arg)
+    return names
+
+
+class UnsortedSetIterRule(Rule):
+    id = "unsorted-set-iter"
+    pack = "determinism"
+    description = (
+        "iterating a set without sorted(); set order is insertion/hash "
+        "dependent and leaks into merge/broadcast/encode paths"
+    )
+    requires_role = "tick"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for scope in self._scopes(module.tree):
+            set_names = _collect_set_names(scope)
+            if not set_names and not self._has_set_literals(scope):
+                continue
+            for node in scope_walk(scope):
+                if isinstance(node, ast.For):
+                    yield from self._flag(module, node.iter, set_names)
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        yield from self._flag(module, gen.iter, set_names, comp=node)
+                elif isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if name in {"list", "tuple", "enumerate"} and node.args:
+                        yield from self._flag(module, node.args[0], set_names)
+
+    @staticmethod
+    def _scopes(tree: ast.AST) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _has_set_literals(scope: ast.AST) -> bool:
+        return any(
+            isinstance(n, (ast.Set, ast.SetComp)) for n in scope_walk(scope)
+        )
+
+    def _flag(
+        self,
+        module: LintModule,
+        iter_expr: ast.AST,
+        set_names: set[str],
+        comp: ast.AST | None = None,
+    ) -> Iterator[Finding]:
+        if not _is_set_expr(iter_expr, set_names):
+            return
+        if isinstance(iter_expr, (ast.Set, ast.SetComp)) and comp is None:
+            # ``for x in {"a", "b"}`` over a literal is a membership-style
+            # constant; only flag when it feeds a collecting comprehension.
+            return
+        # Allow when an order-insensitive consumer wraps the iteration.
+        anchor = comp if comp is not None else iter_expr
+        for parent in module.parents(anchor):
+            if isinstance(parent, ast.Call):
+                name = dotted_name(parent.func)
+                if name in _ORDER_INSENSITIVE:
+                    return
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        if isinstance(anchor, ast.SetComp):
+            return  # set -> set keeps order-insensitivity
+        label = (
+            iter_expr.id
+            if isinstance(iter_expr, ast.Name)
+            else ast.unparse(iter_expr)
+        )
+        yield self.make(
+            module,
+            anchor if comp is not None else iter_expr,
+            f"iteration over set {label!r} without sorted(); wrap in "
+            "sorted(...) before the order can reach a merge/broadcast/"
+            "encode path",
+        )
+
+
+# -- unsorted-keys-iter ----------------------------------------------------
+
+
+class UnsortedKeysIterRule(Rule):
+    id = "unsorted-keys-iter"
+    pack = "determinism"
+    description = (
+        "iterating d.keys() directly; iterate the dict (deterministic "
+        "insertion order) or sorted(d) when order must be canonical"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in {"list", "tuple"} and node.args:
+                    iters.append(node.args[0])
+            for it in iters:
+                if (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Attribute)
+                    and it.func.attr == "keys"
+                    and not it.args
+                ):
+                    yield self.make(
+                        module,
+                        it,
+                        "iterating .keys() directly; iterate the dict itself "
+                        "(insertion order is deterministic) or sorted(d) for "
+                        "a canonical order",
+                    )
+
+
+# -- id-cache-unpinned -----------------------------------------------------
+
+
+def _id_referents(expr: ast.AST) -> list[str]:
+    """Names passed to ``id(...)`` anywhere inside ``expr``."""
+    out: list[str] = []
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Name)
+        ):
+            out.append(node.args[0].id)
+    return out
+
+
+def _pins_referent(value: ast.AST, referent: str, module: LintModule) -> bool:
+    """True if ``value`` stores a *direct* reference to ``referent``.
+
+    A bare ``Name`` load counts (including as a tuple/list element or a
+    call argument -- constructors conventionally retain their args, as
+    ``Interpreter(script, ...)`` does).  ``referent.attr`` does NOT
+    count: storing an attribute of the object does not keep the object
+    alive, which is exactly the id()-reuse aliasing bug.
+    """
+    for node in ast.walk(value):
+        if isinstance(node, ast.Name) and node.id == referent:
+            parent = module.parent(node)
+            if isinstance(parent, ast.Attribute) and parent.value is node:
+                continue
+            if isinstance(parent, ast.Subscript) and parent.value is node:
+                continue
+            if isinstance(parent, ast.Call) and parent.func is node:
+                continue
+            if isinstance(parent, ast.comprehension):
+                # ``[f(x) for x in referent]`` stores f(x) results, not
+                # the referent itself -- no pin.
+                continue
+            return True
+    return False
+
+
+class IdCacheUnpinnedRule(Rule):
+    id = "id-cache-unpinned"
+    pack = "determinism"
+    description = (
+        "dict keyed by id(obj) whose value does not pin obj; a collected "
+        "object's recycled id silently serves a stale cache entry"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for scope in self._scopes(module.tree):
+            assigns = self._name_assignments(scope)
+            for node in scope_walk(scope):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Subscript):
+                            yield from self._check_store(
+                                module, tgt.value, tgt.slice, node.value, assigns, node
+                            )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "setdefault"
+                    and len(node.args) == 2
+                ):
+                    yield from self._check_store(
+                        module, node.func.value, node.args[0], node.args[1], assigns, node
+                    )
+
+    @staticmethod
+    def _scopes(tree: ast.AST) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _name_assignments(scope: ast.AST) -> dict[str, list[ast.AST]]:
+        out: dict[str, list[ast.AST]] = {}
+        for node in scope_walk(scope):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        out.setdefault(tgt.id, []).append(node.value)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.value is not None
+            ):
+                out.setdefault(node.target.id, []).append(node.value)
+        return out
+
+    def _check_store(
+        self,
+        module: LintModule,
+        dict_expr: ast.AST,
+        key_expr: ast.AST,
+        value_expr: ast.AST,
+        assigns: dict[str, list[ast.AST]],
+        site: ast.AST,
+    ) -> Iterator[Finding]:
+        key_exprs = [key_expr]
+        if isinstance(key_expr, ast.Name):
+            key_exprs = assigns.get(key_expr.id, [])
+        referents: list[str] = []
+        for ke in key_exprs:
+            referents.extend(_id_referents(ke))
+        if not referents:
+            return
+        # Counter/constant idiom (``refs[id(p)] = refs.get(id(p), 0) + 1``)
+        # stores no object at all -- id reuse cannot alias anything.
+        if self._is_counter_value(value_expr, dict_expr):
+            return
+        dict_name = dotted_name(dict_expr) or ast.unparse(dict_expr)
+        for referent in referents:
+            values = [value_expr]
+            if isinstance(value_expr, ast.Name):
+                values = assigns.get(value_expr.id, [value_expr])
+            ok = all(
+                self._value_pins(v, referent, dict_name, module) for v in values
+            )
+            if not ok:
+                yield self.make(
+                    module,
+                    site,
+                    f"cache {dict_name!r} keyed by id({referent}) does not "
+                    f"pin {referent!r}; store the referent in the value "
+                    "(e.g. a (obj, result) tuple) so a recycled id cannot "
+                    "alias a stale entry",
+                )
+
+    @staticmethod
+    def _is_counter_value(value: ast.AST, dict_expr: ast.AST) -> bool:
+        if isinstance(value, ast.Constant):
+            return True
+        if isinstance(value, ast.BinOp):
+            return True  # arithmetic on prior entries, no object stored
+        return False
+
+    def _value_pins(
+        self, value: ast.AST, referent: str, dict_name: str, module: LintModule
+    ) -> bool:
+        if _pins_referent(value, referent, module):
+            return True
+        # Reading back from the same cache returns an already-pinned
+        # value: ``entry = cache.pop(key, None)`` / ``cache.get(key)``.
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+            if value.func.attr in {"get", "pop", "setdefault"}:
+                owner = dotted_name(value.func.value)
+                if owner == dict_name:
+                    return True
+        return False
+
+
+# -- dict-mutation-in-iteration --------------------------------------------
+
+_DICT_MUTATORS = frozenset({"pop", "popitem", "clear", "update", "setdefault"})
+
+
+class DictMutationInIterationRule(Rule):
+    id = "dict-mutation-in-iteration"
+    pack = "determinism"
+    description = "mutating a dict while iterating it"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.For):
+                continue
+            target = self._iterated_dict(node.iter)
+            if target is None:
+                continue
+            for inner in ast.walk(node):
+                yield from self._flag_mutation(module, inner, target)
+
+    @staticmethod
+    def _iterated_dict(iter_expr: ast.AST) -> str | None:
+        # ``for k in d`` / ``for k, v in d.items()`` / ``.keys()`` / ``.values()``
+        if isinstance(iter_expr, ast.Name):
+            return iter_expr.id
+        if (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Attribute)
+            and iter_expr.func.attr in {"items", "keys", "values"}
+        ):
+            return dotted_name(iter_expr.func.value)
+        return None
+
+    def _flag_mutation(
+        self, module: LintModule, node: ast.AST, target: str
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Delete):
+            for t in node.targets:
+                if isinstance(t, ast.Subscript) and dotted_name(t.value) == target:
+                    yield self.make(
+                        module, node, f"del {target}[...] while iterating {target!r}"
+                    )
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Subscript) and dotted_name(t.value) == target:
+                    yield self.make(
+                        module,
+                        node,
+                        f"assignment to {target}[...] while iterating {target!r}; "
+                        "collect changes and apply after the loop",
+                    )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DICT_MUTATORS
+            and dotted_name(node.func.value) == target
+        ):
+            yield self.make(
+                module,
+                node,
+                f"{target}.{node.func.attr}(...) while iterating {target!r}",
+            )
+
+
+DETERMINISM_RULES: list[Rule] = [
+    NondetCallRule(),
+    UnstableHashRule(),
+    UnsortedSetIterRule(),
+    UnsortedKeysIterRule(),
+    IdCacheUnpinnedRule(),
+    DictMutationInIterationRule(),
+]

@@ -1,0 +1,245 @@
+"""Wire/protocol rule pack.
+
+The repo has two framed byte formats: the socket transport's
+``>BI``-headered frames (``serve/transport.py``, ``PROTOCOL_VERSION``)
+and the epoch log's ``>2sBqII`` record header (``persist/framing.py``,
+``FORMAT_VERSION``).  These rules keep the formats honest: every
+``struct`` format string must pin an explicit byte order, every module
+that packs frames must carry a version constant, every encoder must
+have a decode/apply/iter counterpart somewhere in the tree, and every
+transport ``recv`` must sit under a handler for the ``FrameError``
+taxonomy (``FrameError`` ⊂ ``TransportError`` ⊂ ``OSError``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..engine import Finding, LintModule, Project, Rule
+from ._util import dotted_name, import_aliases, resolved_call_name
+
+_STRUCT_FUNCS = frozenset(
+    {
+        "struct.Struct",
+        "struct.pack",
+        "struct.unpack",
+        "struct.pack_into",
+        "struct.unpack_from",
+        "struct.calcsize",
+        "struct.iter_unpack",
+    }
+)
+_BYTE_ORDER_PREFIXES = (">", "<", "!", "=")
+_VERSION_NAME_RE = re.compile(r"(^|_)(PROTOCOL|FORMAT|WIRE)_VERSION$")
+
+
+def _struct_format_calls(module: LintModule) -> Iterator[tuple[ast.Call, str]]:
+    aliases = import_aliases(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolved_call_name(node, aliases)
+        if name not in _STRUCT_FUNCS:
+            continue
+        if not node.args:
+            continue
+        fmt = node.args[0]
+        if isinstance(fmt, ast.Constant) and isinstance(fmt.value, str):
+            yield node, fmt.value
+
+
+class StructByteOrderRule(Rule):
+    id = "struct-byte-order"
+    pack = "wire"
+    description = (
+        "struct format string without an explicit byte order; native "
+        "order/alignment differs across hosts and breaks the wire format"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node, fmt in _struct_format_calls(module):
+            if not fmt.startswith(_BYTE_ORDER_PREFIXES):
+                yield self.make(
+                    module,
+                    node,
+                    f"struct format {fmt!r} has no explicit byte order; "
+                    "prefix with '>' (network order) so frames are "
+                    "host-independent",
+                )
+
+
+class WireVersionConstantRule(Rule):
+    id = "wire-version-constant"
+    pack = "wire"
+    description = (
+        "module packs struct frames but defines/imports no "
+        "*_VERSION constant to stamp the format"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        uses = list(_struct_format_calls(module))
+        if not uses:
+            return
+        if self._has_version_name(module.tree):
+            return
+        node = uses[0][0]
+        yield self.make(
+            module,
+            node,
+            "struct frame packing without a PROTOCOL_VERSION/FORMAT_VERSION "
+            "constant in the module; version every wire format so decoders "
+            "can reject mismatches",
+        )
+
+    @staticmethod
+    def _has_version_name(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name) and _VERSION_NAME_RE.search(tgt.id):
+                        return True
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and _VERSION_NAME_RE.search(
+                    node.target.id
+                ):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if _VERSION_NAME_RE.search(local):
+                        return True
+        return False
+
+
+class EncodeDecodePairRule(Rule):
+    id = "encode-decode-pair"
+    pack = "wire"
+    description = (
+        "encoder function with no decode/apply/iter/read counterpart "
+        "anywhere in the scanned tree (and vice versa)"
+    )
+
+    _DECODER_PREFIXES = ("decode_", "apply_", "iter_", "read_", "load_")
+    _ENCODER_PREFIXES = ("encode_", "write_", "dump_", "build_")
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        # name -> (module, node) for every top-level / class-level def.
+        defs: dict[str, tuple[LintModule, ast.AST]] = {}
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    defs.setdefault(node.name, (module, node))
+        names = set(defs)
+
+        def has_counterpart(stem: str, prefixes: tuple[str, ...]) -> bool:
+            stems = {stem}
+            # singular/plural stems pair up: encode_record / iter_records.
+            if stem.endswith("s"):
+                stems.add(stem[:-1])
+            else:
+                stems.add(stem + "s")
+            return any(p + s in names for p in prefixes for s in stems)
+
+        for name in sorted(names):
+            module, node = defs[name]
+            if name.startswith("encode_"):
+                stem = name[len("encode_"):]
+                if not has_counterpart(stem, self._DECODER_PREFIXES):
+                    yield self.make(
+                        module,
+                        node,
+                        f"encoder {name}() has no decode_/apply_/iter_/read_ "
+                        "counterpart in the scanned tree; every wire format "
+                        "needs both directions",
+                    )
+            elif name.startswith("decode_"):
+                stem = name[len("decode_"):]
+                if not has_counterpart(stem, self._ENCODER_PREFIXES):
+                    yield self.make(
+                        module,
+                        node,
+                        f"decoder {name}() has no encode_/write_/dump_ "
+                        "counterpart in the scanned tree",
+                    )
+
+
+class RecvFrameGuardRule(Rule):
+    id = "recv-frame-guard"
+    pack = "wire"
+    description = (
+        "transport recv() outside a try handling the FrameError taxonomy "
+        "(FrameError/TransportError/OSError/EOFError)"
+    )
+
+    _RECEIVER_HINTS = ("transport", "feed", "client", "conn_to_server")
+    _HANDLED = frozenset(
+        {
+            "FrameError",
+            "TransportError",
+            "OSError",
+            "EOFError",
+            "ConnectionError",
+            "Exception",
+            "BaseException",
+        }
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "recv"
+            ):
+                continue
+            receiver = (dotted_name(node.func.value) or "").lower()
+            if not any(h in receiver for h in self._RECEIVER_HINTS):
+                continue
+            if self._guarded(module, node):
+                continue
+            yield self.make(
+                module,
+                node,
+                f"recv() on {receiver!r} outside a try handling "
+                "FrameError/TransportError/OSError/EOFError; a torn or "
+                "desynced frame will escape as an unclassified exception",
+            )
+
+    def _guarded(self, module: LintModule, node: ast.AST) -> bool:
+        child = node
+        for parent in module.parents(node):
+            if isinstance(parent, ast.Try):
+                in_body = any(self._contains(stmt, child) for stmt in parent.body)
+                if in_body and self._handles_taxonomy(parent):
+                    return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False
+
+    @staticmethod
+    def _contains(root: ast.AST, needle: ast.AST) -> bool:
+        return any(n is needle for n in ast.walk(root))
+
+    def _handles_taxonomy(self, try_node: ast.Try) -> bool:
+        for handler in try_node.handlers:
+            if handler.type is None:
+                return True  # bare except
+            if isinstance(handler.type, ast.Tuple):
+                types: list[ast.expr] = list(handler.type.elts)
+            else:
+                types = [handler.type]
+            for t in types:
+                name = dotted_name(t)
+                if name is not None and name.split(".")[-1] in self._HANDLED:
+                    return True
+        return False
+
+
+WIRE_RULES: list[Rule] = [
+    StructByteOrderRule(),
+    WireVersionConstantRule(),
+    EncodeDecodePairRule(),
+    RecvFrameGuardRule(),
+]
